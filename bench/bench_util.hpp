@@ -1,0 +1,30 @@
+// bench_util.hpp — shared helpers for the reproduction benches.
+//
+// Every bench honors two environment variables:
+//   UWBAMS_FAST=1  — cut workloads for smoke runs / CI
+//   UWBAMS_FULL=1  — paper-scale workloads (longer runtimes)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace uwbams::benchutil {
+
+enum class Scale { kFast, kDefault, kFull };
+
+inline Scale scale_from_env() {
+  if (std::getenv("UWBAMS_FAST") != nullptr) return Scale::kFast;
+  if (std::getenv("UWBAMS_FULL") != nullptr) return Scale::kFull;
+  return Scale::kDefault;
+}
+
+inline const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kFast: return "fast";
+    case Scale::kDefault: return "default";
+    case Scale::kFull: return "full (paper scale)";
+  }
+  return "?";
+}
+
+}  // namespace uwbams::benchutil

@@ -1,0 +1,57 @@
+// fig4_ac_response — reproduces Fig. 4: "Integrator AC response".
+//
+// Runs the small-signal AC sweep of the 31-transistor I&D netlist, fits the
+// Phase-IV two-pole model, and prints both curves (they must overlap, as in
+// the paper). Reports the extracted DC gain and pole frequencies against
+// the paper's 21 dB / 0.886 MHz / 5.895 GHz.
+#include <cmath>
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "base/units.hpp"
+#include "core/characterize.hpp"
+
+using namespace uwbams;
+
+int main() {
+  std::printf("=== Fig. 4 reproduction: Integrate & Dump AC response ===\n\n");
+
+  const auto ch = core::characterize_itd();
+
+  base::Series series("Fig 4. |H(f)| of the I&D cell", "freq_hz");
+  series.add_column("spice_mag_db");
+  series.add_column("two_pole_model_db");
+  for (std::size_t i = 0; i < ch.sweep.points.size(); ++i) {
+    const double f = ch.sweep.points[i].freq;
+    const double model =
+        ch.ac.dc_gain_db -
+        10.0 * std::log10((1.0 + std::pow(f / ch.ac.f_pole1, 2)) *
+                          (1.0 + std::pow(f / ch.ac.f_pole2, 2)));
+    series.add_row(f, {ch.sweep.mag_db(i), model});
+  }
+  series.print(5);
+  std::printf("\n%s\n", series.ascii_plot(70, 22).c_str());
+
+  base::Table t("Extracted vs paper (Fig. 4 figures of merit)");
+  t.set_header({"Quantity", "Paper", "This reproduction"});
+  t.add_row({"DC gain", "21 dB", base::Table::num(ch.ac.dc_gain_db, 2) + " dB"});
+  t.add_row({"f_pole1", "0.886 MHz",
+             base::Table::num(ch.ac.f_pole1 / 1e6, 3) + " MHz"});
+  t.add_row({"f_pole2", "5.895 GHz",
+             base::Table::num(ch.ac.f_pole2 / 1e9, 3) + " GHz"});
+  t.add_row({"unity-gain freq", "~10 MHz",
+             base::Table::num(ch.unity_gain_freq / 1e6, 2) + " MHz"});
+  t.add_row({"input linear range", "~100 mV",
+             base::Table::num(ch.input_linear_range * 1e3, 0) + " mV"});
+  t.add_row({"model fit residual", "(overlaps)",
+             base::Table::num(ch.ac.rms_error_db, 2) + " dB rms"});
+  t.print();
+
+  std::printf(
+      "\nShape check: ideal-integrator (-20 dB/dec) band from ~%.1f MHz to "
+      "~%.2f GHz;\nthe Phase-IV model overlaps the netlist response within "
+      "%.2f dB rms.\n",
+      ch.ac.f_pole1 * 3.0 / 1e6, ch.ac.f_pole2 / 3.0 / 1e9,
+      ch.ac.rms_error_db);
+  return 0;
+}

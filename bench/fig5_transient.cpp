@@ -1,0 +1,99 @@
+// fig5_transient — reproduces Fig. 5: "Integrators transient responses".
+//
+// Identical stimulus (integrate a differential step, hold, dump) through
+// the three I&D fidelities. The VHDL-AMS (linear two-pole) model matches
+// ELDO for small inputs and deviates for large ones — "distortions caused
+// by the limited linear input range of the circuit not contemplated in the
+// model" (paper §5).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "base/table.hpp"
+#include "base/trace.hpp"
+#include "core/block_variant.hpp"
+#include "core/characterize.hpp"
+#include "uwb/integrator.hpp"
+
+using namespace uwbams;
+
+namespace {
+
+base::Trace run_cycle(uwb::IntegrateAndDump& itd, double& input,
+                      double vin_diff, const char* name) {
+  base::Trace trace(name, 4);
+  const double dt = 0.2e-9;
+  double t = 0.0;
+  auto run = [&](uwb::IntegrateAndDump::Mode m, double dur) {
+    itd.set_mode(m);
+    for (const double end = t + dur; t < end - dt / 2; t += dt) {
+      itd.step(t, dt);
+      trace.record(t, itd.output());
+    }
+  };
+  input = 0.0;
+  run(uwb::IntegrateAndDump::Mode::kDump, 40e-9);
+  input = vin_diff;
+  run(uwb::IntegrateAndDump::Mode::kIntegrate, 300e-9);
+  input = 0.0;
+  run(uwb::IntegrateAndDump::Mode::kHold, 150e-9);
+  run(uwb::IntegrateAndDump::Mode::kDump, 60e-9);
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5 reproduction: integrate -> hold -> dump ===\n\n");
+
+  // Phase IV model calibrated from the netlist (the paper's flow).
+  const auto ch = core::characterize_itd();
+  const auto cal = core::to_behavioral_params(ch, /*with_clamp=*/false);
+  uwb::SystemConfig sys;
+
+  for (double vin : {0.02, 0.08}) {
+    double in_ideal = 0, in_model = 0, in_spice = 0;
+    uwb::IdealIntegrator ideal(&in_ideal, sys.integrator_k);
+    uwb::TwoPoleIntegrator model(&in_model, cal);
+    uwb::SpiceIntegrator spice_itd(&in_spice);
+
+    auto tr_i = run_cycle(ideal, in_ideal, vin, "IDEAL");
+    auto tr_m = run_cycle(model, in_model, vin, "VHDL-AMS");
+    auto tr_s = run_cycle(spice_itd, in_spice, vin, "ELDO");
+
+    base::Series series(
+        std::string("Fig 5. transient responses, vin = ") +
+            base::Table::num(vin * 1e3, 0) + " mV",
+        "t_ns");
+    series.add_column("IDEAL");
+    series.add_column("VHDL-AMS");
+    series.add_column("ELDO");
+    for (std::size_t i = 0; i < tr_i.times().size(); i += 8) {
+      const double t = tr_i.times()[i];
+      series.add_row(t * 1e9, {tr_i.values()[i], tr_m.at(t), tr_s.at(t)});
+    }
+    std::printf("%s\n", series.ascii_plot(70, 18).c_str());
+
+    // End-of-integration values and the model-vs-netlist mismatch.
+    const double t_eoi = 40e-9 + 300e-9 - 1e-9;
+    const double vi = tr_i.at(t_eoi), vm = tr_m.at(t_eoi), vs = tr_s.at(t_eoi);
+    base::Table t(std::string("End-of-integration value, vin = ") +
+                  base::Table::num(vin * 1e3, 0) + " mV");
+    t.set_header({"Model", "V_out [V]", "vs ELDO"});
+    t.add_row({"IDEAL", base::Table::num(vi, 4),
+               base::Table::num(100.0 * (vi - vs) / vs, 1) + " %"});
+    t.add_row({"VHDL-AMS", base::Table::num(vm, 4),
+               base::Table::num(100.0 * (vm - vs) / vs, 1) + " %"});
+    t.add_row({"ELDO", base::Table::num(vs, 4), "-"});
+    t.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape check (paper Fig. 5): the linear VHDL-AMS model tracks ELDO for\n"
+      "small inputs; at large inputs the netlist compresses (limited ~%.0f mV\n"
+      "linear input range) and the mismatch grows — the deficiency the paper\n"
+      "uses to motivate refining the Phase-IV model.\n",
+      ch.input_linear_range * 1e3);
+  return 0;
+}

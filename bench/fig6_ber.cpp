@@ -1,0 +1,95 @@
+// fig6_ber — reproduces Fig. 6: "Comparison between BER curves with ideal
+// and SPICE integrators".
+//
+// Monte-Carlo BER of the full chain (genie timing, AWGN, 2-PPM energy
+// detection) for the ideal and the transistor-level integrator, with the
+// semi-analytic energy-detection curve as reference. The paper's claim:
+// the curves track each other with "a performance improvement of the real
+// integrator at higher Eb/N0" — at the default (cold) AGC operating point
+// the circuit's limited input range censors noise spikes and crosses below
+// the ideal curve at high Eb/N0.
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hpp"
+#include "bench_util.hpp"
+#include "core/block_variant.hpp"
+#include "uwb/ber.hpp"
+
+using namespace uwbams;
+
+int main() {
+  const auto scale = benchutil::scale_from_env();
+  std::printf("=== Fig. 6 reproduction: BER vs Eb/N0 (scale: %s) ===\n\n",
+              benchutil::scale_name(scale));
+
+  uwb::BerConfig cfg;
+  cfg.sys.dt = 0.2e-9;  // 5 GS/s resolves the 500 MHz-class pulses
+  cfg.ebn0_db = {0, 2, 4, 6, 8, 10, 12, 14, 16};
+  switch (scale) {
+    case benchutil::Scale::kFast:
+      cfg.max_bits = 1000;
+      cfg.min_errors = 20;
+      break;
+    case benchutil::Scale::kDefault:
+      cfg.max_bits = 8000;
+      cfg.min_errors = 40;
+      break;
+    case benchutil::Scale::kFull:
+      cfg.max_bits = 60000;
+      cfg.min_errors = 80;
+      break;
+  }
+
+  const double tw = uwb::receiver_tw_product(cfg.sys);
+  std::printf("Detector time-bandwidth product M = B*T = %.1f\n", tw);
+
+  std::vector<std::vector<uwb::BerPoint>> curves;
+  const std::vector<core::IntegratorKind> kinds = {
+      core::IntegratorKind::kIdeal, core::IntegratorKind::kSpice};
+  for (auto kind : kinds) {
+    uwb::BerConfig c = cfg;
+    if (kind == core::IntegratorKind::kSpice &&
+        scale != benchutil::Scale::kFull) {
+      c.max_bits = std::min<std::uint64_t>(c.max_bits, 6000);
+    }
+    std::printf("running %s ...\n", core::to_string(kind).c_str());
+    std::fflush(stdout);
+    curves.push_back(
+        uwb::run_ber_sweep(c, core::make_integrator_factory(kind, c.sys)));
+  }
+
+  base::Series series("Fig 6. BER vs Eb/N0", "ebn0_db");
+  series.add_column("ideal");
+  series.add_column("eldo");
+  series.add_column("theory");
+  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+    series.add_row(curves[0][i].ebn0_db,
+                   {curves[0][i].ber, curves[1][i].ber,
+                    uwb::energy_detection_ber_theory(curves[0][i].ebn0_db, tw)});
+  }
+  std::printf("\n");
+  series.print(4);
+  std::printf("\n%s\n", series.ascii_plot(64, 20, /*log_y=*/true).c_str());
+
+  base::Table t("Fig 6. measured points (95% half-widths)");
+  t.set_header({"Eb/N0 [dB]", "IDEAL", "ELDO", "IDEAL bits", "ELDO bits"});
+  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+    t.add_row({base::Table::num(curves[0][i].ebn0_db, 0),
+               base::Table::sci(curves[0][i].ber, 2) + " +/- " +
+                   base::Table::sci(curves[0][i].half_width_95, 1),
+               base::Table::sci(curves[1][i].ber, 2) + " +/- " +
+                   base::Table::sci(curves[1][i].half_width_95, 1),
+               std::to_string(curves[0][i].bits),
+               std::to_string(curves[1][i].bits)});
+  }
+  t.print();
+
+  std::printf(
+      "\nShape check (paper Fig. 6): both detectors waterfall together; at\n"
+      "low/mid Eb/N0 the curves overlap within the confidence interval, and\n"
+      "at high Eb/N0 the circuit integrator edges below the ideal one (its\n"
+      "input clamp censors large noise excursions). Run UWBAMS_FULL=1 for\n"
+      "tighter confidence at the 1e-3..1e-4 points.\n");
+  return 0;
+}

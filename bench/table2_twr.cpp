@@ -1,0 +1,64 @@
+// table2_twr — reproduces Table 2: "TWR simulation results @ 9.9 m with
+// IDEAL and ELDO integrator".
+//
+// Ten complete two-way-ranging exchanges (request/acquire/reply/acquire)
+// over the 4a CM1 LOS channel with the recommended path loss, once per
+// integrator fidelity. The paper's two observations under test:
+//   * the ELDO integrator produces a *larger* distance offset (the AGC
+//     drives the squared signal beyond its input range -> lower output ->
+//     later threshold crossings), and
+//   * a *smaller/comparable* spread (band-limiting of the detector).
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hpp"
+#include "bench_util.hpp"
+#include "core/block_variant.hpp"
+#include "core/report.hpp"
+#include "uwb/ranging.hpp"
+
+using namespace uwbams;
+
+int main() {
+  const auto scale = benchutil::scale_from_env();
+  std::printf("=== Table 2 reproduction: TWR @ 9.9 m, CM1 LOS (scale: %s) ===\n\n",
+              benchutil::scale_name(scale));
+
+  uwb::TwrConfig cfg;
+  cfg.sys.dt = (scale == benchutil::Scale::kFull) ? 0.1e-9 : 0.2e-9;
+  cfg.iterations = (scale == benchutil::Scale::kFast) ? 3 : 10;
+
+  std::vector<core::NamedTwr> rows;
+  for (auto kind :
+       {core::IntegratorKind::kIdeal, core::IntegratorKind::kSpice}) {
+    std::printf("running %s (%d iterations) ...\n",
+                core::to_string(kind).c_str(), cfg.iterations);
+    std::fflush(stdout);
+    uwb::TwoWayRanging twr(cfg,
+                           core::make_integrator_factory(kind, cfg.sys));
+    rows.push_back({core::to_string(kind), twr.run()});
+  }
+
+  std::printf("\n%s\n", core::render_twr_table(rows, cfg.sys.distance).c_str());
+
+  base::Table detail("Per-iteration distance estimates [m]");
+  detail.set_header({"iter", rows[0].name, rows[1].name});
+  for (std::size_t i = 0; i < rows[0].result.iterations.size(); ++i) {
+    detail.add_row(
+        {std::to_string(i),
+         base::Table::num(rows[0].result.iterations[i].distance_estimate, 3),
+         base::Table::num(rows[1].result.iterations[i].distance_estimate, 3)});
+  }
+  detail.print();
+
+  std::printf(
+      "\nPaper Table 2 @ 9.9 m: IDEAL mean 10.10 m / var 0.49 m;"
+      " ELDO mean 11.16 m / var 0.10 m.\n"
+      "Shape check: the ELDO integrator's offset exceeds the IDEAL one (its\n"
+      "limited input range lowers the integrated output, so the leading-edge\n"
+      "threshold crossing happens later on both sides of the exchange). Our\n"
+      "bias difference is smaller than the paper's because the AGC here has\n"
+      "gain headroom and the ToA estimator interpolates between 2 ns bins —\n"
+      "see bench/ablation_agc_headroom for the gain-limited regime.\n");
+  return 0;
+}

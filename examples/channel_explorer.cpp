@@ -1,0 +1,64 @@
+// channel_explorer — the §4 design-constraint analysis.
+//
+// Generates N IEEE 802.15.4a CM1 realizations, reports their statistics,
+// and extracts the integrator design constraints the paper derives "from
+// the analysis of 100 UWB TG4a CM1 waveform realizations": required slew
+// rate, worst-case squared-signal peak (input-range sizing), and the
+// integration-window energy capture.
+#include <cstdio>
+
+#include "base/random.hpp"
+#include "base/stats.hpp"
+#include "base/table.hpp"
+#include "core/constraints.hpp"
+#include "uwb/channel.hpp"
+
+using namespace uwbams;
+
+int main() {
+  std::printf("=== CM1 channel exploration + §4 design constraints ===\n\n");
+
+  // Raw channel statistics over 100 draws.
+  base::Rng rng(42);
+  base::RunningStats spread, ntaps, peak;
+  for (int i = 0; i < 100; ++i) {
+    const auto cr = uwb::generate_cm1(rng);
+    spread.add(cr.rms_delay_spread() * 1e9);
+    ntaps.add(static_cast<double>(cr.taps.size()));
+    peak.add(cr.peak_gain());
+  }
+  base::Table t1("CM1 statistics over 100 realizations (unit-energy CIRs)");
+  t1.set_header({"Quantity", "mean", "min", "max"});
+  t1.add_row({"RMS delay spread [ns]", base::Table::num(spread.mean(), 1),
+              base::Table::num(spread.min(), 1),
+              base::Table::num(spread.max(), 1)});
+  t1.add_row({"kept taps", base::Table::num(ntaps.mean(), 1),
+              base::Table::num(ntaps.min(), 0),
+              base::Table::num(ntaps.max(), 0)});
+  t1.add_row({"peak |gain|", base::Table::num(peak.mean(), 2),
+              base::Table::num(peak.min(), 2),
+              base::Table::num(peak.max(), 2)});
+  t1.print();
+
+  // Integrator design constraints at the Table-2 operating point.
+  uwb::SystemConfig sys;
+  const auto c = core::extract_constraints(sys, 100, 42);
+  base::Table t2("Integrator constraints from 100 CM1 realizations (paper §4)");
+  t2.set_header({"Constraint", "value"});
+  t2.add_row({"squared-signal peak (p99)",
+              base::Table::num(c.squared_peak_p99 * 1e3, 1) + " mV"});
+  t2.add_row({"required output slew rate (p99)",
+              base::Table::num(c.slew_rate_p99 * 1e-6, 2) + " V/us"});
+  t2.add_row({"RMS delay spread (mean / p90)",
+              base::Table::num(c.rms_delay_spread_mean * 1e9, 1) + " / " +
+                  base::Table::num(c.rms_delay_spread_p90 * 1e9, 1) + " ns"});
+  t2.add_row({"32 ns window energy capture",
+              base::Table::num(100 * c.window_energy_capture_mean, 1) + " %"});
+  t2.print();
+
+  std::printf(
+      "\nReading: the p99 squared-signal peak sizes the integrator's input\n"
+      "linear range (the cell delivers ~100 mV); the spread statistics size\n"
+      "the 32 ns integration window.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// methodology_flow — the paper's four-phase top-down flow, end to end.
+//
+// Walks the Integrate & Dump block through the methodology:
+//   Phase I/II: behavioral system model (ideal I&D), functional check;
+//   Phase III:  substitute-and-play — the same testbench with the
+//               31-transistor netlist co-simulated in the loop;
+//   III -> IV:  characterize the netlist (AC fit, linear range);
+//   Phase IV:   calibrated two-pole model back in the system, with the
+//               CPU-cost / accuracy trade the paper's Table 1 quantifies.
+#include <chrono>
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "core/block_variant.hpp"
+#include "core/characterize.hpp"
+#include "core/experiment.hpp"
+
+using namespace uwbams;
+
+int main() {
+  std::printf("=== The AMS top-down methodology on the I&D block ===\n\n");
+
+  // ---- Phase I/II: behavioral system, functional check.
+  std::printf("[Phase II]  behavioral system simulation (ideal I&D)...\n");
+  core::SystemRunConfig cfg;
+  cfg.duration = 4e-6;
+  cfg.sys.dt = 0.1e-9;
+  cfg.ebn0_db = 14.0;
+  cfg.kind = core::IntegratorKind::kIdeal;
+  const auto phase2 = core::run_system_simulation(cfg);
+  std::printf("            %llu bits demodulated, %llu errors, %.2f s CPU\n\n",
+              static_cast<unsigned long long>(phase2.bits_demodulated),
+              static_cast<unsigned long long>(phase2.bit_errors),
+              phase2.cpu_seconds);
+
+  // ---- Phase III: transistor netlist in the same testbench.
+  std::printf("[Phase III] substitute-and-play: 31-transistor netlist in the"
+              " loop...\n");
+  cfg.kind = core::IntegratorKind::kSpice;
+  const auto phase3 = core::run_system_simulation(cfg);
+  std::printf("            %llu bits, %llu errors, %.2f s CPU (%.1fx Phase II)\n\n",
+              static_cast<unsigned long long>(phase3.bits_demodulated),
+              static_cast<unsigned long long>(phase3.bit_errors),
+              phase3.cpu_seconds, phase3.cpu_seconds / phase2.cpu_seconds);
+
+  // ---- Phase III -> IV: characterize the detailed block.
+  std::printf("[III->IV]   characterizing the netlist (AC fit + ranges)...\n");
+  const auto ch = core::characterize_itd();
+  std::printf("            DC gain %.2f dB, poles %.3f MHz / %.2f GHz,\n"
+              "            input linear range %.0f mV, slew %.2f V/us\n\n",
+              ch.ac.dc_gain_db, ch.ac.f_pole1 / 1e6, ch.ac.f_pole2 / 1e9,
+              ch.input_linear_range * 1e3, ch.slew_rate * 1e-6);
+
+  // ---- Phase IV: calibrated behavioral model back in the system.
+  std::printf("[Phase IV]  calibrated two-pole model in the system...\n");
+  cfg.kind = core::IntegratorKind::kBehavioral;
+  cfg.variant.behavioral = core::to_behavioral_params(ch, false);
+  const auto phase4 = core::run_system_simulation(cfg);
+  std::printf("            %llu bits, %llu errors, %.2f s CPU\n\n",
+              static_cast<unsigned long long>(phase4.bits_demodulated),
+              static_cast<unsigned long long>(phase4.bit_errors),
+              phase4.cpu_seconds);
+
+  base::Table t("Flow summary (the Table-1 trade at example scale)");
+  t.set_header({"Phase", "Model", "CPU [s]", "errors"});
+  t.add_row({"II", "IDEAL", base::Table::num(phase2.cpu_seconds, 2),
+             std::to_string(phase2.bit_errors)});
+  t.add_row({"III", "ELDO netlist", base::Table::num(phase3.cpu_seconds, 2),
+             std::to_string(phase3.bit_errors)});
+  t.add_row({"IV", "calibrated VHDL-AMS",
+             base::Table::num(phase4.cpu_seconds, 2),
+             std::to_string(phase4.bit_errors)});
+  t.print();
+  std::printf(
+      "\nThe Phase-IV model recovers circuit-level behaviour at behavioral\n"
+      "cost — 'unavoidable, if one aims at capturing the real circuits\n"
+      "behavior while keeping under control the time budget' (paper §5).\n");
+  return 0;
+}

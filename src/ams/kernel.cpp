@@ -1,0 +1,49 @@
+#include "ams/kernel.hpp"
+
+#include <stdexcept>
+
+namespace uwbams::ams {
+
+Kernel::Kernel(double dt) : dt_(dt) {
+  if (dt <= 0.0) throw std::invalid_argument("Kernel: dt must be positive");
+}
+
+void Kernel::add_analog(AnalogBlock& block) { analog_.push_back(&block); }
+
+void Kernel::schedule(DigitalProcess& process, double t) {
+  if (t < t_ - 0.5 * dt_)
+    throw std::invalid_argument("Kernel::schedule: time in the past");
+  events_.push(Event{t, seq_++, &process, {}});
+}
+
+void Kernel::schedule_callback(double t, std::function<void(double)> fn) {
+  if (t < t_ - 0.5 * dt_)
+    throw std::invalid_argument("Kernel::schedule_callback: time in the past");
+  events_.push(Event{t, seq_++, nullptr, std::move(fn)});
+}
+
+void Kernel::fire_due_events() {
+  // Events due within the current step boundary fire now. The small epsilon
+  // absorbs floating-point drift of t over millions of steps.
+  while (!events_.empty() && events_.top().t <= t_ + 0.25 * dt_) {
+    Event ev = events_.top();
+    events_.pop();
+    if (ev.process != nullptr)
+      ev.process->wake(*this, t_);
+    else if (ev.callback)
+      ev.callback(t_);
+  }
+}
+
+void Kernel::step() {
+  fire_due_events();
+  for (AnalogBlock* b : analog_) b->step(t_, dt_);
+  t_ += dt_;
+  ++steps_;
+}
+
+void Kernel::run_until(double t_stop) {
+  while (t_ < t_stop - 0.5 * dt_) step();
+}
+
+}  // namespace uwbams::ams

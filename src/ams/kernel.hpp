@@ -1,0 +1,91 @@
+// kernel.hpp — the AMS co-simulation kernel (the "ADMS" role).
+//
+// The paper's methodology rests on simulating blocks of different
+// abstraction levels in one environment: behavioral VHDL-AMS entities,
+// digital processes and an imported Spice netlist all advance together.
+// This kernel provides exactly that contract:
+//
+//   * AnalogBlock — sample-rate blocks advanced every fixed time step in
+//     registration (dataflow) order; a block may be a one-line behavioral
+//     model or a SpiceBridge wrapping a transistor-level netlist
+//     (substitute-and-play: both satisfy the same interface).
+//   * DigitalProcess — event-driven processes woken at scheduled times
+//     (clock dividers, FSMs, controllers). Events due at or before the
+//     current time fire before the next analog step, so digital decisions
+//     see the analog state of the just-completed step.
+//
+// The fixed step matches the paper's solver setup (0.05 ns system runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace uwbams::ams {
+
+class Kernel;
+
+// A block advanced once per analog time step, in registration order.
+// Communication is through plain double signals owned by the blocks;
+// consumers hold const pointers to producer outputs (wired by the
+// testbench at build time).
+class AnalogBlock {
+ public:
+  virtual ~AnalogBlock() = default;
+  // Advance internal state from t to t+dt using the inputs sampled at the
+  // wired signals. Outputs must be updated before returning.
+  virtual void step(double t, double dt) = 0;
+};
+
+// An event-driven digital process. wake() may schedule further events.
+class DigitalProcess {
+ public:
+  virtual ~DigitalProcess() = default;
+  virtual void wake(Kernel& kernel, double t) = 0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(double dt);
+
+  double dt() const { return dt_; }
+  double time() const { return t_; }
+  std::uint64_t steps() const { return steps_; }
+
+  // Registers an analog block (non-owning; testbench owns blocks). Order of
+  // registration is the per-step evaluation order.
+  void add_analog(AnalogBlock& block);
+  // Schedules a digital wake-up at absolute time t (>= current time).
+  void schedule(DigitalProcess& process, double t);
+  // Schedules a one-shot callback at absolute time t.
+  void schedule_callback(double t, std::function<void(double)> fn);
+
+  // Runs one analog step: first fires every digital event due at or before
+  // the current time, then advances all analog blocks by dt.
+  void step();
+  // Steps until time() >= t_stop (within half a step).
+  void run_until(double t_stop);
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    DigitalProcess* process;
+    std::function<void(double)> callback;
+    bool operator>(const Event& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+
+  void fire_due_events();
+
+  double dt_;
+  double t_ = 0.0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<AnalogBlock*> analog_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+}  // namespace uwbams::ams

@@ -1,0 +1,82 @@
+// ode.hpp — trapezoidal state updates for behavioral analog models.
+//
+// These are the discrete-time equivalents of the paper's VHDL-AMS
+// simultaneous statements ('Dot equations). All integrators use the
+// trapezoidal rule, which is A-stable: the paper's second pole at several
+// GHz is stiff relative to the 0.05 ns step (omega*dt ~ 2), and an explicit
+// update would be marginally stable there.
+#pragma once
+
+namespace uwbams::ams {
+
+// Pure integrator:  y' = k * u   (the Phase-II ideal I&D equation
+// "vo'Dot == vin*K").
+class IdealIntegratorState {
+ public:
+  explicit IdealIntegratorState(double k) : k_(k) {}
+  double k() const { return k_; }
+  void reset(double y = 0.0) {
+    y_ = y;
+    u_prev_ = 0.0;
+  }
+  double step(double u, double dt) {
+    y_ += 0.5 * dt * k_ * (u + u_prev_);
+    u_prev_ = u;
+    return y_;
+  }
+  double value() const { return y_; }
+
+ private:
+  double k_;
+  double y_ = 0.0;
+  double u_prev_ = 0.0;
+};
+
+// Single pole with DC gain:  y' = omega * (k*u - y).
+class OnePoleState {
+ public:
+  OnePoleState(double k, double omega) : k_(k), omega_(omega) {}
+  double k() const { return k_; }
+  double omega() const { return omega_; }
+  void reset(double y = 0.0) {
+    y_ = y;
+    u_prev_ = 0.0;
+  }
+  // Trapezoidal: (1 + w*dt/2) y_n = (1 - w*dt/2) y_{n-1} + (w*dt/2) k (u + u_prev)
+  double step(double u, double dt) {
+    const double a = 0.5 * omega_ * dt;
+    y_ = ((1.0 - a) * y_ + a * k_ * (u + u_prev_)) / (1.0 + a);
+    u_prev_ = u;
+    return y_;
+  }
+  double value() const { return y_; }
+
+ private:
+  double k_, omega_;
+  double y_ = 0.0;
+  double u_prev_ = 0.0;
+};
+
+// The paper's Phase-IV two-equation model:
+//   vin - (1/w1) vo_q' - vo_q == 0          (unity-gain first pole)
+//   K vo_q - (1/w2) vo'  - vo  == 0          (gain + second pole)
+class TwoPoleState {
+ public:
+  TwoPoleState(double dc_gain, double omega1, double omega2)
+      : p1_(1.0, omega1), p2_(dc_gain, omega2) {}
+  void reset() {
+    p1_.reset();
+    p2_.reset();
+  }
+  double step(double u, double dt) { return p2_.step(p1_.step(u, dt), dt); }
+  double value() const { return p2_.value(); }
+  double dc_gain() const { return p2_.k(); }
+  double omega1() const { return p1_.omega(); }
+  double omega2() const { return p2_.omega(); }
+
+ private:
+  OnePoleState p1_;
+  OnePoleState p2_;
+};
+
+}  // namespace uwbams::ams

@@ -1,0 +1,54 @@
+#include "base/random.hpp"
+
+#include <cmath>
+
+namespace uwbams::base {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::lognormal_db(double mean_db, double sigma_db) {
+  const double db = gaussian(mean_db, sigma_db);
+  return std::pow(10.0, db / 10.0);
+}
+
+double Rng::nakagami(double m, double omega) {
+  // Power of a Nakagami-m amplitude is Gamma(shape=m, scale=omega/m).
+  std::gamma_distribution<double> gamma(m, omega / m);
+  return std::sqrt(gamma(engine_));
+}
+
+bool Rng::bit() { return uniform_int(0, 1) != 0; }
+
+std::vector<bool> Rng::bits(std::size_t n) {
+  std::vector<bool> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = bit();
+  return out;
+}
+
+double Rng::poisson_arrival_after(double now, double rate) {
+  return now + exponential(rate);
+}
+
+}  // namespace uwbams::base

@@ -1,0 +1,54 @@
+// random.hpp — seeded random number generation for reproducible experiments.
+//
+// Every stochastic element of the framework (AWGN, channel realizations,
+// payload bits) draws from an explicitly seeded Rng so that experiments are
+// bit-reproducible given the same seed. Distributions beyond the standard
+// library (Nakagami-m, Poisson arrival processes) are provided for the
+// IEEE 802.15.4a channel model.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace uwbams::base {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  // Standard normal (mean 0, stddev 1).
+  double gaussian();
+  // Normal with given mean and stddev.
+  double gaussian(double mean, double stddev);
+  // Exponential with given rate (mean 1/rate).
+  double exponential(double rate);
+  // Lognormal where the *underlying dB value* is N(mean_db, sigma_db):
+  // returns 10^(N(mean_db, sigma_db)/10) — the 4a shadowing convention.
+  double lognormal_db(double mean_db, double sigma_db);
+  // Nakagami-m distributed *amplitude* with E[x^2] = omega.
+  // Implemented by sampling a Gamma(m, omega/m) power and taking sqrt.
+  double nakagami(double m, double omega);
+  // Random bit (fair coin).
+  bool bit();
+  // Vector of random bits.
+  std::vector<bool> bits(std::size_t n);
+
+  // Next arrival time of a Poisson process with given rate, after `now`.
+  double poisson_arrival_after(double now, double rate);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace uwbams::base

@@ -1,0 +1,119 @@
+#include "base/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uwbams::base {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::variance_population() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void BerCounter::add(bool error) {
+  ++bits_;
+  if (error) ++errors_;
+}
+
+void BerCounter::add_bits(std::uint64_t bits, std::uint64_t errors) {
+  bits_ += bits;
+  errors_ += errors;
+}
+
+double BerCounter::ber() const {
+  return bits_ > 0 ? static_cast<double>(errors_) / static_cast<double>(bits_)
+                   : 0.0;
+}
+
+double BerCounter::half_width_95() const {
+  if (bits_ == 0) return 1.0;
+  const double z = 1.96;
+  const double n = static_cast<double>(bits_);
+  const double p = ber();
+  const double denom = 1.0 + z * z / n;
+  const double half = (z / denom) *
+                      std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+  return half;
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance_of(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double rms_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double max_abs_of(std::span<const double> xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile_of: empty input");
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("fit_line: need >= 2 equal-length samples");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300)
+    throw std::invalid_argument("fit_line: degenerate x values");
+  LineFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+}  // namespace uwbams::base

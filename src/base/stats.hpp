@@ -1,0 +1,75 @@
+// stats.hpp — streaming statistics and measurement helpers.
+//
+// RunningStats implements Welford's online algorithm so benches can
+// accumulate millions of samples without storing them. BerCounter tracks
+// bit errors together with a Wilson confidence interval so BER sweeps can
+// stop early once the estimate is tight enough (or enough errors were seen).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace uwbams::base {
+
+// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Unbiased sample variance (n-1 denominator).
+  double variance() const;
+  // Population variance (n denominator).
+  double variance_population() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Bit-error-rate counter with early-stop support.
+class BerCounter {
+ public:
+  void add(bool error);
+  void add_bits(std::uint64_t bits, std::uint64_t errors);
+
+  std::uint64_t bits() const { return bits_; }
+  std::uint64_t errors() const { return errors_; }
+  double ber() const;
+  // Wilson score interval half-width at ~95% confidence.
+  double half_width_95() const;
+  // True once at least `min_errors` errors have been observed (Monte-Carlo
+  // stopping rule: relative error of the BER estimate ~ 1/sqrt(errors)).
+  bool converged(std::uint64_t min_errors) const { return errors_ >= min_errors; }
+
+ private:
+  std::uint64_t bits_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+// Simple descriptive helpers over a span of samples.
+double mean_of(std::span<const double> xs);
+double variance_of(std::span<const double> xs);  // unbiased
+double rms_of(std::span<const double> xs);
+double max_abs_of(std::span<const double> xs);
+// p in [0,100]; linear interpolation between order statistics.
+double percentile_of(std::vector<double> xs, double p);
+
+// Least-squares line fit y = a + b*x; returns {a, b}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace uwbams::base

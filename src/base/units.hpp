@@ -1,0 +1,65 @@
+// units.hpp — physical constants, SI scale factors and dB helpers.
+//
+// All simulation quantities in uwbams are plain SI doubles (seconds, volts,
+// amperes, hertz, meters). These helpers make literals readable:
+//   double ts = 128.0 * units::ns;
+//   double gain = units::db_to_lin(21.0);
+#pragma once
+
+#include <cmath>
+
+namespace uwbams::units {
+
+// SI scale factors (multiply a literal by these).
+inline constexpr double femto = 1e-15;
+inline constexpr double pico = 1e-12;
+inline constexpr double nano = 1e-9;
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+// Time.
+inline constexpr double fs = 1e-15;
+inline constexpr double ps = 1e-12;
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+// Frequency.
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Capacitance / charge-domain.
+inline constexpr double fF = 1e-15;
+inline constexpr double pF = 1e-12;
+inline constexpr double nF = 1e-9;
+
+// Voltage / current.
+inline constexpr double mV = 1e-3;
+inline constexpr double uV = 1e-6;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+
+// Physical constants.
+inline constexpr double speed_of_light = 299'792'458.0;  // m/s
+inline constexpr double boltzmann = 1.380649e-23;        // J/K
+inline constexpr double elementary_charge = 1.602176634e-19;  // C
+inline constexpr double pi = 3.14159265358979323846;
+
+// Power/amplitude dB conversions.
+// db_to_lin / lin_to_db operate on *amplitude* ratios (20 log10);
+// db_to_pow / pow_to_db operate on *power* ratios (10 log10).
+inline double db_to_lin(double db) { return std::pow(10.0, db / 20.0); }
+inline double lin_to_db(double lin) { return 20.0 * std::log10(lin); }
+inline double db_to_pow(double db) { return std::pow(10.0, db / 10.0); }
+inline double pow_to_db(double p) { return 10.0 * std::log10(p); }
+
+// Thermal voltage kT/q at a Celsius temperature.
+inline double thermal_voltage(double temp_celsius) {
+  return boltzmann * (temp_celsius + 273.15) / elementary_charge;
+}
+
+}  // namespace uwbams::units

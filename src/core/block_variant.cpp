@@ -1,0 +1,53 @@
+#include "core/block_variant.hpp"
+
+#include <stdexcept>
+
+namespace uwbams::core {
+
+std::string to_string(IntegratorKind kind) {
+  switch (kind) {
+    case IntegratorKind::kIdeal:
+      return "IDEAL";
+    case IntegratorKind::kSpice:
+      return "ELDO";
+    case IntegratorKind::kBehavioral:
+      return "VHDL-AMS";
+  }
+  throw std::logic_error("to_string(IntegratorKind): bad value");
+}
+
+uwb::IntegratorFactory make_integrator_factory(IntegratorKind kind,
+                                               const uwb::SystemConfig& sys,
+                                               VariantOptions options) {
+  switch (kind) {
+    case IntegratorKind::kIdeal: {
+      const double k = sys.integrator_k;
+      return [k](const double* input) {
+        return std::make_unique<uwb::IdealIntegrator>(input, k);
+      };
+    }
+    case IntegratorKind::kBehavioral: {
+      // TwoPoleParams defaults hold the paper's published figures; the
+      // characterization flow overwrites them with measured ones.
+      uwb::TwoPoleParams p = options.behavioral;
+      if (options.behavioral_uses_clamp) {
+        if (p.input_clamp == 0.0) p.input_clamp = sys.integrator_clamp;
+      } else {
+        p.input_clamp = 0.0;  // the paper's Phase IV model is linear
+      }
+      return [p](const double* input) {
+        return std::make_unique<uwb::TwoPoleIntegrator>(input, p);
+      };
+    }
+    case IntegratorKind::kSpice: {
+      const spice::ItdSizing sizing = options.sizing;
+      return [sizing](const double* input) {
+        spice::TransientOptions topts;  // paper solver setup (EPS 1e-6)
+        return std::make_unique<uwb::SpiceIntegrator>(input, sizing, topts);
+      };
+    }
+  }
+  throw std::logic_error("make_integrator_factory: bad kind");
+}
+
+}  // namespace uwbams::core

@@ -1,0 +1,55 @@
+// characterize.hpp — Phase III -> Phase IV: measure the transistor-level
+// block and calibrate its behavioral model.
+//
+// The paper derives the Phase-IV VHDL-AMS model "through its transfer
+// function": the AC response of the Eldo netlist yields the DC gain and the
+// two poles of the coupled-ODE model. This module automates that step:
+//   * run the small-signal AC sweep of the I&D cell,
+//   * fit a two-pole transfer function to the magnitude response,
+//   * extract the DC input linear range and the output slew limit from
+//     transient sweeps (the non-idealities the linear model misses),
+//   * emit TwoPoleParams for uwb::TwoPoleIntegrator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spice/ac.hpp"
+#include "spice/itd_builder.hpp"
+#include "uwb/integrator.hpp"
+
+namespace uwbams::core {
+
+struct TwoPoleFit {
+  double dc_gain_db = 0.0;
+  double f_pole1 = 0.0;
+  double f_pole2 = 0.0;
+  double rms_error_db = 0.0;  // fit residual over the sweep
+};
+
+// Least-squares fit of |H| = K / sqrt((1+(f/f1)^2)(1+(f/f2)^2)) to a
+// measured magnitude response (dB). Requires f1 < f2 separated responses
+// (integrator-like), which the I&D cell satisfies.
+TwoPoleFit fit_two_pole(std::span<const double> freqs_hz,
+                        std::span<const double> mag_db);
+
+struct ItdCharacterization {
+  TwoPoleFit ac;                 // fitted gain/poles
+  double unity_gain_freq = 0.0;  // |H| = 0 dB crossing [Hz]
+  double input_linear_range = 0.0;  // DC input range before >10% gain
+                                    // compression [V]
+  double slew_rate = 0.0;           // output ramp limit [V/s]
+  spice::AcSweep sweep;             // raw AC data (for Fig. 4 overlays)
+};
+
+// Full characterization of the 31-transistor cell.
+ItdCharacterization characterize_itd(const spice::ItdSizing& sizing = {});
+
+// The calibrated Phase-IV model parameters. `with_clamp` additionally
+// transfers the measured linear range into the model (our extension; the
+// paper's model is linear, which is exactly why its Fig. 5 transient
+// deviates from Eldo).
+uwb::TwoPoleParams to_behavioral_params(const ItdCharacterization& ch,
+                                        bool with_clamp);
+
+}  // namespace uwbams::core

@@ -1,0 +1,79 @@
+#include "core/constraints.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/random.hpp"
+#include "base/stats.hpp"
+#include "base/units.hpp"
+#include "uwb/pulse.hpp"
+
+namespace uwbams::core {
+
+DesignConstraints extract_constraints(const uwb::SystemConfig& cfg,
+                                      int n_realizations,
+                                      std::uint64_t seed) {
+  DesignConstraints out;
+  out.realizations = n_realizations;
+
+  base::Rng rng(seed);
+  const uwb::GaussianMonocycle pulse(2, cfg.pulse_sigma, cfg.pulse_amplitude);
+  const auto pulse_samples = pulse.sampled(cfg.dt);
+
+  const double pl_db = uwb::path_loss_db(cfg.distance, cfg.path_loss_db_1m,
+                                         cfg.path_loss_exponent);
+  const double amp_scale = units::db_to_lin(-pl_db);
+  // Nominal front-end voltage gain (LNA + mid-range VGA).
+  const double fe_gain = units::db_to_lin(
+      cfg.lna_gain_db + 0.5 * (cfg.vga_min_db + cfg.vga_max_db));
+
+  std::vector<double> sq_peaks, spreads;
+  base::RunningStats spread_stats, capture_stats;
+
+  for (int r = 0; r < n_realizations; ++r) {
+    const auto cr = uwb::generate_cm1(rng);
+    spreads.push_back(cr.rms_delay_spread());
+    spread_stats.add(cr.rms_delay_spread());
+
+    // Received waveform: direct tap convolution of the sampled pulse.
+    const double max_delay = cr.taps.back().delay;
+    const std::size_t n =
+        pulse_samples.size() +
+        static_cast<std::size_t>(max_delay / cfg.dt) + 4;
+    std::vector<double> rx(n, 0.0);
+    for (const auto& tap : cr.taps) {
+      const auto off = static_cast<std::size_t>(tap.delay / cfg.dt);
+      for (std::size_t i = 0; i < pulse_samples.size(); ++i)
+        rx[off + i] += tap.gain * amp_scale * pulse_samples[i];
+    }
+
+    // Squared signal after the nominal front end.
+    double sq_peak = 0.0;
+    double total_e = 0.0;
+    for (double& v : rx) {
+      v *= fe_gain;
+      const double sq = cfg.squarer_gain * v * v;
+      sq_peak = std::max(sq_peak, sq);
+      total_e += sq;
+    }
+    sq_peaks.push_back(sq_peak);
+
+    // Energy captured by one integration window anchored at the first path.
+    const auto win = static_cast<std::size_t>(
+        std::min(cfg.integration_window / cfg.dt, static_cast<double>(n)));
+    double captured = 0.0;
+    for (std::size_t i = 0; i < win; ++i)
+      captured += cfg.squarer_gain * rx[i] * rx[i];
+    if (total_e > 0.0) capture_stats.add(captured / total_e);
+  }
+
+  out.squared_peak_p99 = base::percentile_of(sq_peaks, 99.0);
+  out.slew_rate_p99 = cfg.integrator_k * out.squared_peak_p99;
+  out.rms_delay_spread_mean = spread_stats.mean();
+  out.rms_delay_spread_p90 = base::percentile_of(spreads, 90.0);
+  out.window_energy_capture_mean = capture_stats.mean();
+  return out;
+}
+
+}  // namespace uwbams::core

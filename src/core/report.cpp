@@ -1,0 +1,56 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/table.hpp"
+
+namespace uwbams::core {
+
+std::string format_duration(double seconds) {
+  const int total = static_cast<int>(std::lround(seconds));
+  const int m = total / 60;
+  const int s = total % 60;
+  char buf[64];
+  if (m > 0)
+    std::snprintf(buf, sizeof buf, "%d m %02d s", m, s);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  return buf;
+}
+
+std::string render_cpu_table(const std::vector<SystemRunResult>& runs) {
+  base::Table t("Table 1. CPU time comparison (system simulation)");
+  t.set_header({"Model", "CPU Time", "Simulation time", "Ratio vs IDEAL"});
+  double ideal_cpu = 0.0;
+  for (const auto& r : runs)
+    if (r.kind == IntegratorKind::kIdeal) ideal_cpu = r.cpu_seconds;
+  for (const auto& r : runs) {
+    const double ratio =
+        ideal_cpu > 0.0 ? r.cpu_seconds / ideal_cpu : 0.0;
+    char sim[32];
+    std::snprintf(sim, sizeof sim, "%.0f us", r.sim_seconds * 1e6);
+    t.add_row({to_string(r.kind), format_duration(r.cpu_seconds), sim,
+               base::Table::num(ratio, 2) + " x"});
+  }
+  return t.render();
+}
+
+std::string render_twr_table(const std::vector<NamedTwr>& runs,
+                             double true_distance) {
+  char title[96];
+  std::snprintf(title, sizeof title,
+                "Table 2. TWR simulation results @ %.1f m", true_distance);
+  base::Table t(title);
+  t.set_header({"Integrator", "Mean [m]", "Std dev [m]", "Bias [m]",
+                "Failures"});
+  for (const auto& r : runs) {
+    t.add_row({r.name, base::Table::num(r.result.mean(), 2),
+               base::Table::num(r.result.stddev(), 2),
+               base::Table::num(r.result.mean() - true_distance, 2),
+               std::to_string(r.result.failures)});
+  }
+  return t.render();
+}
+
+}  // namespace uwbams::core

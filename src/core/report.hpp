@@ -1,0 +1,26 @@
+// report.hpp — paper-style result formatting shared by the benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "uwb/ranging.hpp"
+
+namespace uwbams::core {
+
+// Renders Table 1 ("CPU time comparison") with ratios against IDEAL.
+std::string render_cpu_table(const std::vector<SystemRunResult>& runs);
+
+// Renders Table 2 ("TWR simulation results") for a set of named runs.
+struct NamedTwr {
+  std::string name;
+  uwb::TwrResult result;
+};
+std::string render_twr_table(const std::vector<NamedTwr>& runs,
+                             double true_distance);
+
+// h:mm:ss-style formatting used by the CPU table.
+std::string format_duration(double seconds);
+
+}  // namespace uwbams::core

@@ -1,0 +1,87 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace uwbams::linalg {
+
+namespace {
+double magnitude(double v) { return std::abs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+LuFactor<T>::LuFactor(Matrix<T> a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("LuFactor: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double max_pivot = 0.0;
+  double min_pivot = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest magnitude in column k at/below row k.
+    std::size_t pivot_row = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = magnitude(lu_(r, k));
+      if (m > best) {
+        best = m;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-300)
+      throw std::runtime_error("LuFactor: singular matrix (zero pivot)");
+    if (pivot_row != k) {
+      std::swap(perm_[k], perm_[pivot_row]);
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+    }
+    if (k == 0) {
+      max_pivot = best;
+      min_pivot = best;
+    } else {
+      max_pivot = std::max(max_pivot, best);
+      min_pivot = std::min(min_pivot, best);
+    }
+    const T pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const T factor = lu_(r, k) / pivot;
+      lu_(r, k) = factor;
+      if (factor == T{}) continue;
+      T* dst = lu_.row_ptr(r);
+      const T* src = lu_.row_ptr(k);
+      for (std::size_t c = k + 1; c < n; ++c) dst[c] -= factor * src[c];
+    }
+  }
+  pivot_ratio_ = (min_pivot > 0.0) ? max_pivot / min_pivot : 1e300;
+}
+
+template <typename T>
+std::vector<T> LuFactor<T>::solve(const std::vector<T>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve size");
+  std::vector<T> x(n);
+  // Apply permutation, forward substitution (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    T acc = b[perm_[r]];
+    const T* row = lu_.row_ptr(r);
+    for (std::size_t c = 0; c < r; ++c) acc -= row[c] * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    T acc = x[ri];
+    const T* row = lu_.row_ptr(ri);
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= row[c] * x[c];
+    x[ri] = acc / row[ri];
+  }
+  return x;
+}
+
+template class LuFactor<double>;
+template class LuFactor<std::complex<double>>;
+
+}  // namespace uwbams::linalg

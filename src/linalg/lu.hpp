@@ -1,0 +1,45 @@
+// lu.hpp — partial-pivoting LU factorization and solve.
+//
+// The factorization object owns a copy of the matrix so circuit analyses can
+// factor once and solve many right-hand sides (AC sweeps reuse structure;
+// transient Newton iterations re-factor each iteration because the Jacobian
+// changes with the nonlinear devices' operating point).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uwbams::linalg {
+
+template <typename T>
+class LuFactor {
+ public:
+  // Factors `a` in place of an internal copy. Throws std::runtime_error if
+  // the matrix is singular to working precision.
+  explicit LuFactor(Matrix<T> a);
+
+  std::size_t size() const { return lu_.rows(); }
+  // Solve A x = b.
+  std::vector<T> solve(const std::vector<T>& b) const;
+  // Largest pivot magnitude / smallest pivot magnitude — a cheap
+  // ill-conditioning indicator used by convergence diagnostics.
+  double pivot_ratio() const { return pivot_ratio_; }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  double pivot_ratio_ = 1.0;
+};
+
+// One-shot convenience: solve A x = b.
+template <typename T>
+std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
+  return LuFactor<T>(std::move(a)).solve(b);
+}
+
+extern template class LuFactor<double>;
+extern template class LuFactor<std::complex<double>>;
+
+}  // namespace uwbams::linalg

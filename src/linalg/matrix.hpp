@@ -1,0 +1,81 @@
+// matrix.hpp — dense row-major matrix over double or std::complex<double>.
+//
+// Circuit matrices in this project are small (tens of unknowns: MNA of the
+// 31-transistor integrator plus sources), so a dense representation with
+// partial-pivoting LU (see lu.hpp) is both simpler and faster than a sparse
+// solver at this scale.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace uwbams::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return (*this)(r, c);
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return (*this)(r, c);
+  }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  T* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<T> multiply(const std::vector<T>& x) const {
+    if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply size");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      const T* row = row_ptr(r);
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix index");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+
+}  // namespace uwbams::linalg

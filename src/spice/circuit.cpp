@@ -1,0 +1,89 @@
+#include "spice/circuit.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace uwbams::spice {
+
+Circuit::Circuit() {
+  // Node 0 is always ground.
+  node_names_.push_back("0");
+  node_ids_["0"] = 0;
+  node_ids_["gnd"] = 0;
+}
+
+std::string Circuit::normalize(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+NodeId Circuit::node(const std::string& name) {
+  const std::string key = normalize(name);
+  auto it = node_ids_.find(key);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_[key] = id;
+  prepared_ = false;
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  auto it = node_ids_.find(normalize(name));
+  return it != node_ids_.end() ? it->second : -1;
+}
+
+Device& Circuit::add_device(std::unique_ptr<Device> dev) {
+  const std::string key = normalize(dev->name());
+  if (device_ids_.count(key))
+    throw std::invalid_argument("Circuit: duplicate device name '" + dev->name() + "'");
+  device_ids_[key] = devices_.size();
+  devices_.push_back(std::move(dev));
+  prepared_ = false;
+  return *devices_.back();
+}
+
+Device* Circuit::find_device(const std::string& name) {
+  auto it = device_ids_.find(normalize(name));
+  return it != device_ids_.end() ? devices_[it->second].get() : nullptr;
+}
+
+const Device* Circuit::find_device(const std::string& name) const {
+  auto it = device_ids_.find(normalize(name));
+  return it != device_ids_.end() ? devices_[it->second].get() : nullptr;
+}
+
+std::size_t Circuit::count_devices_with_prefix(const std::string& prefix) const {
+  const std::string p = normalize(prefix);
+  std::size_t n = 0;
+  for (const auto& d : devices_) {
+    const std::string name = normalize(d->name());
+    if (name.size() >= p.size() && name.compare(0, p.size(), p) == 0) ++n;
+  }
+  return n;
+}
+
+void Circuit::prepare() {
+  branch_count_ = 0;
+  const int node_unknowns = static_cast<int>(node_names_.size()) - 1;
+  for (auto& d : devices_) {
+    const int b = d->branches();
+    if (b > 0) {
+      d->set_branch_base(node_unknowns + static_cast<int>(branch_count_));
+      branch_count_ += static_cast<std::size_t>(b);
+    }
+  }
+  unknown_count_ = static_cast<std::size_t>(node_unknowns) + branch_count_;
+  prepared_ = true;
+}
+
+double Circuit::voltage_in(const std::vector<double>& x, NodeId n) const {
+  const int idx = node_index(n);
+  if (idx < 0) return 0.0;
+  return x.at(static_cast<std::size_t>(idx));
+}
+
+}  // namespace uwbams::spice

@@ -1,0 +1,55 @@
+#include "spice/dc_sweep.hpp"
+
+#include <stdexcept>
+
+#include "spice/devices.hpp"
+
+namespace uwbams::spice {
+
+std::vector<DcSweepPoint> run_dc_sweep(Circuit& circuit,
+                                       const std::string& source_name,
+                                       double start, double stop, int steps,
+                                       const std::vector<DcProbe>& probes,
+                                       const OpOptions& options) {
+  if (steps < 1) throw std::invalid_argument("run_dc_sweep: steps < 1");
+  auto* src = dynamic_cast<VoltageSource*>(circuit.find_device(source_name));
+  if (src == nullptr)
+    throw std::invalid_argument("run_dc_sweep: no voltage source '" +
+                                source_name + "'");
+
+  std::vector<DcSweepPoint> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  OpOptions opts = options;
+  for (int i = 0; i <= steps; ++i) {
+    const double v = start + (stop - start) * i / steps;
+    src->set_override(v);
+    const OpResult op = solve_op(circuit, opts);
+    DcSweepPoint pt;
+    pt.source_value = v;
+    pt.converged = op.converged;
+    if (op.converged) {
+      for (const auto& p : probes)
+        pt.probes.push_back(circuit.voltage_in(op.x, p.positive) -
+                            circuit.voltage_in(op.x, p.negative));
+      opts.initial_guess = op.x;  // warm-start the next point
+    } else {
+      pt.probes.assign(probes.size(), 0.0);
+    }
+    out.push_back(std::move(pt));
+  }
+  src->clear_override();
+  return out;
+}
+
+double dc_gain_at_midpoint(const std::vector<DcSweepPoint>& sweep) {
+  if (sweep.size() < 3 || sweep.front().probes.empty())
+    throw std::invalid_argument("dc_gain_at_midpoint: need >=3 points");
+  const std::size_t mid = sweep.size() / 2;
+  const auto& lo = sweep[mid - 1];
+  const auto& hi = sweep[mid + 1];
+  const double dv = hi.source_value - lo.source_value;
+  if (dv == 0.0) throw std::invalid_argument("dc_gain_at_midpoint: flat sweep");
+  return (hi.probes[0] - lo.probes[0]) / dv;
+}
+
+}  // namespace uwbams::spice

@@ -1,0 +1,94 @@
+// device.hpp — the device interface of the transistor-level simulator.
+//
+// Devices stamp their companion models into an Mna system. Nonlinear devices
+// (MOSFETs) stamp the linearization around the current Newton iterate;
+// dynamic devices (capacitors, inductors, MOS capacitances) stamp the
+// trapezoidal or backward-Euler companion using committed history from the
+// previous accepted time step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/mna.hpp"
+
+namespace uwbams::spice {
+
+class Circuit;
+
+enum class AnalysisMode {
+  kOp,         // DC operating point: capacitors open, inductors short
+  kTransient,  // companion models active
+};
+
+enum class Integrator {
+  kTrapezoidal,
+  kBackwardEuler,
+};
+
+// Per-stamp context shared by all devices.
+struct StampArgs {
+  AnalysisMode mode = AnalysisMode::kOp;
+  Integrator method = Integrator::kTrapezoidal;
+  // Current Newton iterate (node voltages then branch currents).
+  const std::vector<double>* x = nullptr;
+  double t = 0.0;   // end time of the step being solved
+  double dt = 0.0;  // step size (0 during OP)
+  // Homotopy controls used by the OP solver.
+  double gmin = 0.0;          // shunt conductance at nonlinear terminals
+  double source_scale = 1.0;  // scales independent sources (source stepping)
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Number of extra branch-current unknowns this device contributes.
+  virtual int branches() const { return 0; }
+  // Called by Circuit::prepare() with the matrix index of the first branch.
+  void set_branch_base(int base) { branch_base_ = base; }
+  int branch_base() const { return branch_base_; }
+
+  // True if the device requires Newton iteration (its stamp depends on x).
+  virtual bool nonlinear() const { return false; }
+
+  // Large-signal stamp (OP and transient Newton iterations).
+  virtual void stamp(Mna<double>& mna, const StampArgs& args) const = 0;
+
+  // Small-signal AC stamp around the committed operating point `op`.
+  // Default: re-use the DC stamp linearization is not possible generically,
+  // so devices must override; linear resistive devices can forward to a
+  // helper. `omega` is the angular frequency.
+  virtual void stamp_ac(Mna<std::complex<double>>& mna,
+                        const std::vector<double>& op, double omega) const = 0;
+
+  // Initialize dynamic state from a converged operating point.
+  virtual void init_state(const std::vector<double>& op) { (void)op; }
+  // Accept the step: update history (capacitor charge/current, MOS region).
+  virtual void commit(const std::vector<double>& x, double t, double dt) {
+    (void)x;
+    (void)t;
+    (void)dt;
+  }
+
+  // Netlist element card for this device (see netlist_writer.hpp).
+  virtual std::string card(const Circuit& circuit) const;
+
+ protected:
+  // Helper used by subclasses to read the voltage at matrix index `idx`
+  // (-1 = ground) out of the iterate.
+  static double v_at(const std::vector<double>& x, int idx) {
+    return idx >= 0 ? x[static_cast<std::size_t>(idx)] : 0.0;
+  }
+
+ private:
+  std::string name_;
+  int branch_base_ = -1;
+};
+
+}  // namespace uwbams::spice

@@ -1,0 +1,170 @@
+// devices.hpp — linear and source devices: R, C, L, V, I, VCVS, VCCS.
+//
+// Node connections are stored as MNA matrix indices (node id - 1; ground is
+// -1). Dynamic devices keep trapezoidal/backward-Euler companion history that
+// is updated by commit() after each accepted time step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/device.hpp"
+
+namespace uwbams::spice {
+
+// Converts a NodeId to an MNA matrix index.
+inline int mna_index(int node_id) { return node_id - 1; }
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, int n1, int n2, double ohms);
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+  double resistance() const { return ohms_; }
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_;
+  double ohms_;
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, int n1, int n2, double farads);
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+  void init_state(const std::vector<double>& op) override;
+  void commit(const std::vector<double>& x, double t, double dt) override;
+  double capacitance() const { return farads_; }
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_;
+  double farads_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+class Inductor final : public Device {
+ public:
+  Inductor(std::string name, int n1, int n2, double henries);
+  int branches() const override { return 1; }
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+  void init_state(const std::vector<double>& op) override;
+  void commit(const std::vector<double>& x, double t, double dt) override;
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_;
+  double henries_;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+};
+
+// Time-dependent source waveform: DC, PULSE, SIN, PWL — the subset of SPICE
+// source shapes the testbenches need. An external override (used by the AMS
+// co-simulation bridge) takes precedence over the waveform when engaged.
+class Waveform {
+ public:
+  static Waveform dc(double v);
+  static Waveform pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period);
+  static Waveform sine(double offset, double amplitude, double freq,
+                       double delay = 0.0);
+  static Waveform pwl(std::vector<double> times, std::vector<double> values);
+
+  double value(double t) const;
+  double dc_value() const { return value(0.0); }
+
+ private:
+  enum class Kind { kDc, kPulse, kSin, kPwl };
+  Kind kind_ = Kind::kDc;
+  // dc / pulse / sin parameters (interpretation depends on kind).
+  double p_[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<double> pwl_t_, pwl_v_;
+};
+
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, int n1, int n2, Waveform wf,
+                double ac_mag = 0.0, double ac_phase_deg = 0.0);
+  int branches() const override { return 1; }
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+
+  // External drive used by the AMS co-simulation bridge: once set, the
+  // override value replaces the waveform until clear_override().
+  void set_override(double v) {
+    override_ = v;
+    has_override_ = true;
+  }
+  void clear_override() { has_override_ = false; }
+  double value(double t) const;
+  // Branch current in a solution vector (positive current flows from the +
+  // node through the source to the - node).
+  double current_in(const std::vector<double>& x) const;
+  void set_ac(double mag, double phase_deg) {
+    ac_mag_ = mag;
+    ac_phase_deg_ = phase_deg;
+  }
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_;
+  Waveform wf_;
+  double ac_mag_;
+  double ac_phase_deg_;
+  double override_ = 0.0;
+  bool has_override_ = false;
+};
+
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, int n1, int n2, Waveform wf,
+                double ac_mag = 0.0);
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_;
+  Waveform wf_;
+  double ac_mag_;
+};
+
+// Voltage-controlled voltage source: v(a,b) = gain * v(ca, cb).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, int n1, int n2, int nc1, int nc2, double gain);
+  int branches() const override { return 1; }
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_, ca_, cb_;
+  double gain_;
+};
+
+// Voltage-controlled current source: i(a->b) = gm * v(ca, cb).
+class Vccs final : public Device {
+ public:
+  Vccs(std::string name, int n1, int n2, int nc1, int nc2, double gm);
+  void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
+                double omega) const override;
+  std::string card(const Circuit& circuit) const override;
+
+ private:
+  int a_, b_, ca_, cb_;
+  double gm_;
+};
+
+}  // namespace uwbams::spice

@@ -1,0 +1,135 @@
+#include "spice/itd_builder.hpp"
+
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace uwbams::spice {
+
+ItdTerminals build_integrate_and_dump(Circuit& ckt, const ItdSizing& sz) {
+  ItdTerminals t;
+  // Interface nodes (paper terminal names).
+  t.inp = ckt.node("Inp");
+  t.inm = ckt.node("Inm");
+  t.controlp = ckt.node("Controlp");
+  t.controlm = ckt.node("Controlm");
+  t.vdd = ckt.node("Vdd");
+  t.out_intp = ckt.node("Out_intp");
+  t.out_intm = ckt.node("Out_intm");
+  const NodeId gnd = ckt.ground();
+
+  // Internal nodes.
+  const NodeId na = ckt.node("na");        // follower source, p side
+  const NodeId nb = ckt.node("nb");        // follower source, m side
+  const NodeId nd1 = ckt.node("nd1");      // pMOS diode node, p side
+  const NodeId nd2 = ckt.node("nd2");      // pMOS diode node, m side
+  const NodeId nx1 = ckt.node("nx1");      // nMOS second-mirror diode, p side
+  const NodeId nx2 = ckt.node("nx2");      // nMOS second-mirror diode, m side
+  t.outp = ckt.node("Outp");               // OTA output (before switches)
+  t.outm = ckt.node("Outm");
+  const NodeId ncm = ckt.node("ncm");      // CMFB sense midpoint
+  const NodeId nt = ckt.node("nt");        // CMFB pair tail
+  const NodeId ne1 = ckt.node("ne1");      // CMFB load diode, input side
+  const NodeId vcmfb = ckt.node("Vcmfb");  // CMFB control voltage
+  const NodeId vbias1 = ckt.node("Vbias1");
+  const NodeId vref = ckt.node("Vref");
+  const NodeId nrefm = ckt.node("nrefmid");
+  const NodeId ctrlpb = ckt.node("ctrlp_bar");
+
+  const MosModel nmos = builtin_model("nmos");
+  const MosModel pmos = builtin_model("pmos");
+  const MosModel nmos_lv = builtin_model("nmos_lv");
+
+  // --- Transconductance amplifier -----------------------------------------
+  // Input source followers (LV for overdrive headroom; aspect ratio ~20).
+  ckt.add<Mosfet>("M1", nd1, t.inp, na, gnd, nmos_lv, sz.w_in, sz.l_in);
+  ckt.add<Mosfet>("M2", nd2, t.inm, nb, gnd, nmos_lv, sz.w_in, sz.l_in);
+  // Follower current sinks (Vbias1).
+  ckt.add<Mosfet>("M3", na, vbias1, gnd, gnd, nmos, sz.w_sink, sz.l_sink);
+  ckt.add<Mosfet>("M4", nb, vbias1, gnd, gnd, nmos, sz.w_sink, sz.l_sink);
+  // Degeneration resistor: differential input current i = vin_d * Gm_in.
+  ckt.add<Resistor>("Rdeg", na, nb, sz.r_deg);
+  // pMOS mirror diodes.
+  ckt.add<Mosfet>("M5", nd1, nd1, t.vdd, t.vdd, pmos, sz.w_pdiode, sz.l_pdiode);
+  ckt.add<Mosfet>("M6", nd2, nd2, t.vdd, t.vdd, pmos, sz.w_pdiode, sz.l_pdiode);
+  // Direct 2x mirrors to the opposite outputs.
+  ckt.add<Mosfet>("M7", t.outm, nd1, t.vdd, t.vdd, pmos, sz.w_pmir2, sz.l_pdiode);
+  ckt.add<Mosfet>("M8", t.outp, nd2, t.vdd, t.vdd, pmos, sz.w_pmir2, sz.l_pdiode);
+  // Second path: unit pMOS mirror -> nMOS diode -> 1.8x nMOS sink.
+  ckt.add<Mosfet>("M9", nx1, nd1, t.vdd, t.vdd, pmos, sz.w_pmir1, sz.l_pdiode);
+  ckt.add<Mosfet>("M10", nx1, nx1, gnd, gnd, nmos, sz.w_ndiode, sz.l_ndiode);
+  ckt.add<Mosfet>("M11", t.outp, nx1, gnd, gnd, nmos, sz.w_nmir, sz.l_ndiode);
+  ckt.add<Mosfet>("M12", nx2, nd2, t.vdd, t.vdd, pmos, sz.w_pmir1, sz.l_pdiode);
+  ckt.add<Mosfet>("M13", nx2, nx2, gnd, gnd, nmos, sz.w_ndiode, sz.l_ndiode);
+  ckt.add<Mosfet>("M14", t.outm, nx2, gnd, gnd, nmos, sz.w_nmir, sz.l_ndiode);
+
+  // --- Common-mode feedback ------------------------------------------------
+  ckt.add<Resistor>("Rs1", t.outp, ncm, sz.r_sense);
+  ckt.add<Resistor>("Rs2", t.outm, ncm, sz.r_sense);
+  // Resistive CM anchor: the sense midpoint alone conducts no common-mode
+  // current, leaving the output CM to recover only through device gds
+  // (~20 ns) after switching injection; tying it to Vref makes the dump
+  // complete within the reset window.
+  ckt.add<Resistor>("Rcm", ncm, vref, sz.r_cm_anchor);
+  ckt.add<Resistor>("Rtail", t.vdd, nt, sz.r_tail);
+  ckt.add<Mosfet>("M15", ne1, ncm, nt, t.vdd, pmos, sz.w_cm_pair, sz.l_cm_pair);
+  ckt.add<Mosfet>("M16", vcmfb, vref, nt, t.vdd, pmos, sz.w_cm_pair, sz.l_cm_pair);
+  ckt.add<Mosfet>("M17", ne1, ne1, gnd, gnd, nmos, sz.w_cm_diode, sz.l_cm_diode);
+  ckt.add<Mosfet>("M18", vcmfb, vcmfb, gnd, gnd, nmos, sz.w_cm_diode, sz.l_cm_diode);
+  // Correction sinks at the OTA outputs (ratio ~0.4 of M18).
+  ckt.add<Mosfet>("M19", t.outp, vcmfb, gnd, gnd, nmos, sz.w_cm_sink, sz.l_cm_sink);
+  ckt.add<Mosfet>("M20", t.outm, vcmfb, gnd, gnd, nmos, sz.w_cm_sink, sz.l_cm_sink);
+  ckt.add<Capacitor>("Ccmfb", vcmfb, gnd, sz.c_cmfb);
+
+  // --- Auto-biasing networks ----------------------------------------------
+  // Network 1: R + nMOS diode -> Vbias1 (~1.7 uA reference).
+  ckt.add<Resistor>("Rb", t.vdd, vbias1, sz.r_bias);
+  ckt.add<Mosfet>("M21", vbias1, vbias1, gnd, gnd, nmos, sz.w_sink, sz.l_sink);
+  // Network 2: stacked diode string -> Vref (~0.94 V CM reference).
+  ckt.add<Mosfet>("M22", vref, vref, t.vdd, t.vdd, pmos, sz.w_ref_p, sz.l_ref_p);
+  ckt.add<Mosfet>("M23", vref, vref, nrefm, gnd, nmos, sz.w_ref_n, sz.l_ref_n);
+  ckt.add<Mosfet>("M24", nrefm, nrefm, gnd, gnd, nmos, sz.w_ref_n, sz.l_ref_n);
+
+  // --- Integration switches -------------------------------------------------
+  // Transmission gates OTA output -> integration capacitor (Controlp, with
+  // the on-cell inverter providing the complementary pMOS gate drive).
+  ckt.add<Mosfet>("M25", t.outp, t.controlp, t.out_intp, gnd, nmos, sz.w_tg_n, sz.l_tg);
+  ckt.add<Mosfet>("M26", t.outp, ctrlpb, t.out_intp, t.vdd, pmos, sz.w_tg_p, sz.l_tg);
+  ckt.add<Mosfet>("M27", t.outm, t.controlp, t.out_intm, gnd, nmos, sz.w_tg_n, sz.l_tg);
+  ckt.add<Mosfet>("M28", t.outm, ctrlpb, t.out_intm, t.vdd, pmos, sz.w_tg_p, sz.l_tg);
+  // Reset switch across the capacitor (Controlm).
+  ckt.add<Mosfet>("M29", t.out_intp, t.controlm, t.out_intm, gnd, nmos, sz.w_rst, sz.l_rst);
+  // Control inverter.
+  ckt.add<Mosfet>("M30", ctrlpb, t.controlp, gnd, gnd, nmos, sz.w_inv_n, sz.l_inv);
+  ckt.add<Mosfet>("M31", ctrlpb, t.controlp, t.vdd, t.vdd, pmos, sz.w_inv_p, sz.l_inv);
+
+  // Integration capacitor (the paper's nominal 1 pF load).
+  ckt.add<Capacitor>("Cint", t.out_intp, t.out_intm, sz.c_int);
+
+  return t;
+}
+
+ItdTestbench build_itd_testbench(Circuit& ckt, const ItdSizing& sz) {
+  ItdTestbench tb;
+  tb.t = build_integrate_and_dump(ckt, sz);
+  const NodeId gnd = ckt.ground();
+  ckt.add<VoltageSource>("vdd_src", tb.t.vdd, gnd, Waveform::dc(sz.vdd));
+  // Differential input around the 0.9 V common mode; AC stimulus is applied
+  // anti-symmetrically so v(inp)-v(inm) has unit magnitude.
+  ckt.add<VoltageSource>("vinp", tb.t.inp, gnd, Waveform::dc(tb.input_cm), 0.5);
+  ckt.add<VoltageSource>("vinm", tb.t.inm, gnd, Waveform::dc(tb.input_cm), 0.5,
+                         180.0);
+  // Controls default to "integrate" so AC analysis sees the closed switches.
+  ckt.add<VoltageSource>("vctrlp", tb.t.controlp, gnd, Waveform::dc(sz.vdd));
+  ckt.add<VoltageSource>("vctrlm", tb.t.controlm, gnd, Waveform::dc(0.0));
+  return tb;
+}
+
+std::string itd_netlist_path() {
+#ifdef UWBAMS_CIRCUITS_DIR
+  return std::string(UWBAMS_CIRCUITS_DIR) + "/integrate_and_dump.cir";
+#else
+  return "circuits/integrate_and_dump.cir";
+#endif
+}
+
+}  // namespace uwbams::spice

@@ -1,0 +1,65 @@
+// mna.hpp — Modified Nodal Analysis matrix assembly.
+//
+// Mna<double> carries the real system solved during OP and transient Newton
+// iterations; Mna<std::complex<double>> carries the small-signal AC system.
+// Ground (index -1) contributions are silently dropped, which keeps device
+// stamp code free of special cases.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace uwbams::spice {
+
+template <typename T>
+class Mna {
+ public:
+  explicit Mna(std::size_t n) : a_(n, n), b_(n, T{}) {}
+
+  std::size_t size() const { return b_.size(); }
+
+  void clear() {
+    a_.fill(T{});
+    for (auto& v : b_) v = T{};
+  }
+
+  // A(i,j) += g. Negative indices refer to ground and are dropped.
+  void add(int i, int j, T g) {
+    if (i < 0 || j < 0) return;
+    a_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) += g;
+  }
+
+  // b(i) += v.
+  void add_rhs(int i, T v) {
+    if (i < 0) return;
+    b_[static_cast<std::size_t>(i)] += v;
+  }
+
+  // Conductance g between nodes i and j (standard two-terminal stamp).
+  void stamp_conductance(int i, int j, T g) {
+    add(i, i, g);
+    add(j, j, g);
+    add(i, j, -g);
+    add(j, i, -g);
+  }
+
+  // Current I flowing from node i to node j (into j).
+  void stamp_current(int i, int j, T current) {
+    add_rhs(i, -current);
+    add_rhs(j, current);
+  }
+
+  linalg::Matrix<T>& matrix() { return a_; }
+  const linalg::Matrix<T>& matrix() const { return a_; }
+  std::vector<T>& rhs() { return b_; }
+  const std::vector<T>& rhs() const { return b_; }
+
+ private:
+  linalg::Matrix<T> a_;
+  std::vector<T> b_;
+};
+
+}  // namespace uwbams::spice

@@ -1,0 +1,54 @@
+#include "spice/model_card.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace uwbams::spice {
+
+double MosModel::cox() const {
+  constexpr double eps_ox = 3.9 * 8.854e-12;  // SiO2 permittivity [F/m]
+  return eps_ox / tox;
+}
+
+MosModel builtin_model(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  MosModel m;
+  if (key == "nmos") {
+    m.name = "nmos";
+    m.is_pmos = false;
+    m.vt0 = 0.45;
+    m.kp = 280e-6;
+    m.lambda = 0.08;
+  } else if (key == "pmos") {
+    m.name = "pmos";
+    m.is_pmos = true;
+    m.vt0 = -0.48;
+    m.kp = 90e-6;
+    m.gamma = 0.40;
+    m.lambda = 0.10;
+  } else if (key == "nmos_lv") {
+    // Low-threshold NMOS: larger overdrive at the same bias; used in the
+    // integrator input stage per the paper's LV device choice.
+    m.name = "nmos_lv";
+    m.is_pmos = false;
+    m.vt0 = 0.25;
+    m.kp = 290e-6;
+    m.lambda = 0.08;
+    m.cj = 0.5e-3;  // lighter LDD junctions on the LV flavor
+  } else if (key == "pmos_lv") {
+    m.name = "pmos_lv";
+    m.is_pmos = true;
+    m.vt0 = -0.28;
+    m.kp = 95e-6;
+    m.gamma = 0.40;
+    m.lambda = 0.10;
+  } else {
+    throw std::invalid_argument("builtin_model: unknown model '" + name + "'");
+  }
+  return m;
+}
+
+}  // namespace uwbams::spice

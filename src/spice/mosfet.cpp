@@ -1,0 +1,202 @@
+#include "spice/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/devices.hpp"
+
+namespace uwbams::spice {
+
+Mosfet::Mosfet(std::string name, int d, int g, int s, int b, MosModel model,
+               double width, double length)
+    : Device(std::move(name)), d_(mna_index(d)), g_(mna_index(g)),
+      s_(mna_index(s)), b_(mna_index(b)), model_(std::move(model)),
+      width_(width), length_(length) {
+  cap_nodes_ = {{{g_, s_}, {g_, d_}, {g_, b_}, {d_, b_}, {s_, b_}}};
+}
+
+MosEval Mosfet::evaluate(double vd, double vg, double vs, double vb) const {
+  const double p = model_.is_pmos ? -1.0 : 1.0;
+  // Flip into the NMOS-like frame.
+  double vds = p * (vd - vs);
+  double vgs = p * (vg - vs);
+  double vbs = p * (vb - vs);
+  // Symmetric device: if vds < 0 the roles of drain and source swap.
+  if (vds < 0.0) {
+    vds = -vds;
+    vgs = p * (vg - vd);
+    vbs = p * (vb - vd);
+  }
+
+  MosEval e;
+  // Body effect: clamp the forward-bias case to keep sqrt well-defined.
+  const double phi = model_.phi;
+  const double sq_arg = std::max(phi - vbs, 0.02);
+  const double dvth = model_.gamma * (std::sqrt(sq_arg) - std::sqrt(phi));
+  const double vt0 = std::abs(model_.vt0);
+  e.vth = vt0 + dvth;
+
+  const double leff = std::max(length_ - 2.0 * model_.ld, 1e-8);
+  const double beta = model_.kp * width_ / leff;
+  const double vov = vgs - e.vth;
+  const double lam = model_.lambda;
+  const double dvth_dvbs = -model_.gamma / (2.0 * std::sqrt(sq_arg));
+
+  if (vov <= 0.0) {
+    e.region = MosEval::Region::kCutoff;
+    // Hard cutoff; gmin shunts (added by the solver) keep the matrix regular.
+    return e;
+  }
+  if (vds < vov) {
+    e.region = MosEval::Region::kTriode;
+    const double clm = 1.0 + lam * vds;
+    e.ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * (vov - vds) * clm +
+            beta * (vov * vds - 0.5 * vds * vds) * lam;
+  } else {
+    e.region = MosEval::Region::kSaturation;
+    const double clm = 1.0 + lam * vds;
+    e.ids = 0.5 * beta * vov * vov * clm;
+    e.gm = beta * vov * clm;
+    e.gds = 0.5 * beta * vov * vov * lam;
+  }
+  // gmb = dIds/dvbs = (dIds/dvth)(dvth/dvbs) = (-gm)(dvth/dvbs).
+  e.gmb = -e.gm * dvth_dvbs;
+  return e;
+}
+
+MosEval Mosfet::evaluate_at(const std::vector<double>& x) const {
+  return evaluate(v_at(x, d_), v_at(x, g_), v_at(x, s_), v_at(x, b_));
+}
+
+void Mosfet::stamp(Mna<double>& mna, const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const double vd = v_at(x, d_), vg = v_at(x, g_), vs = v_at(x, s_),
+               vb = v_at(x, b_);
+  const double p = model_.is_pmos ? -1.0 : 1.0;
+
+  // Effective drain/source after symmetry swap (in actual node terms).
+  const bool swapped = p * (vd - vs) < 0.0;
+  const int nd = swapped ? s_ : d_;
+  const int ns = swapped ? d_ : s_;
+  const double vde = swapped ? vs : vd;
+  const double vse = swapped ? vd : vs;
+
+  const MosEval e = evaluate(vd, vg, vs, vb);
+
+  // Conductance stamps are polarity-invariant (see header notes): the
+  // current into the effective drain is
+  //   I_D = gm*(vg - vse) + gds*(vde - vse) + gmb*(vb - vse) + Ieq
+  // with Ieq = p*ids - gm*(vg-vse) - gds*(vde-vse) - gmb*(vb-vse).
+  mna.add(nd, g_, e.gm);
+  mna.add(nd, nd, e.gds);
+  mna.add(nd, b_, e.gmb);
+  mna.add(nd, ns, -(e.gm + e.gds + e.gmb));
+  mna.add(ns, g_, -e.gm);
+  mna.add(ns, nd, -e.gds);
+  mna.add(ns, b_, -e.gmb);
+  mna.add(ns, ns, e.gm + e.gds + e.gmb);
+
+  const double ieq = p * e.ids - e.gm * (vg - vse) - e.gds * (vde - vse) -
+                     e.gmb * (v_at(x, b_) - vse);
+  mna.stamp_current(nd, ns, ieq);
+
+  // gmin shunt keeps off devices from isolating nodes.
+  if (args.gmin > 0.0) mna.stamp_conductance(d_, s_, args.gmin);
+
+  // Meyer + junction capacitances, linear companions frozen at the last
+  // committed solution (refreshed in commit()/init_state()).
+  if (args.mode == AnalysisMode::kTransient) {
+    for (std::size_t k = 0; k < caps_.size(); ++k) {
+      stamp_cap_companion(mna, cap_nodes_[k].first, cap_nodes_[k].second,
+                          caps_[k], args);
+    }
+  }
+}
+
+void Mosfet::stamp_cap_companion(Mna<double>& mna, int i, int j,
+                                 const CapState& cs, const StampArgs& args) {
+  if (cs.c <= 0.0) return;
+  // Always backward Euler: see the CapState comment in the header.
+  const double geq = cs.c / args.dt;
+  mna.stamp_conductance(i, j, geq);
+  mna.stamp_current(i, j, -geq * cs.v_prev);
+}
+
+std::array<double, 5> Mosfet::meyer_caps(const std::vector<double>& x) const {
+  const MosEval e = evaluate_at(x);
+  const double leff = std::max(length_ - 2.0 * model_.ld, 1e-8);
+  const double cox_tot = model_.cox() * width_ * leff;
+  const double ovl_s = model_.cgso * width_;
+  const double ovl_d = model_.cgdo * width_;
+  const double ovl_b = model_.cgbo * length_;
+  const double cj = model_.cj * width_ * model_.ldiff;
+
+  double cgs = ovl_s, cgd = ovl_d, cgb = ovl_b;
+  switch (e.region) {
+    case MosEval::Region::kCutoff:
+      cgb += cox_tot;
+      break;
+    case MosEval::Region::kSaturation:
+      cgs += (2.0 / 3.0) * cox_tot;
+      break;
+    case MosEval::Region::kTriode:
+      cgs += 0.5 * cox_tot;
+      cgd += 0.5 * cox_tot;
+      break;
+  }
+  return {cgs, cgd, cgb, cj, cj};
+}
+
+void Mosfet::refresh_cap_values(const std::vector<double>& x) {
+  const auto cs = meyer_caps(x);
+  for (std::size_t k = 0; k < caps_.size(); ++k) caps_[k].c = cs[k];
+}
+
+void Mosfet::init_state(const std::vector<double>& op) {
+  refresh_cap_values(op);
+  for (std::size_t k = 0; k < caps_.size(); ++k) {
+    caps_[k].v_prev =
+        v_at(op, cap_nodes_[k].first) - v_at(op, cap_nodes_[k].second);
+  }
+}
+
+void Mosfet::commit(const std::vector<double>& x, double, double) {
+  for (std::size_t k = 0; k < caps_.size(); ++k) {
+    caps_[k].v_prev =
+        v_at(x, cap_nodes_[k].first) - v_at(x, cap_nodes_[k].second);
+  }
+  // Region may have changed: recompute Meyer values for the next step.
+  refresh_cap_values(x);
+}
+
+void Mosfet::stamp_ac(Mna<std::complex<double>>& mna,
+                      const std::vector<double>& op, double omega) const {
+  using cd = std::complex<double>;
+  const double vd = v_at(op, d_), vg = v_at(op, g_), vs = v_at(op, s_),
+               vb = v_at(op, b_);
+  const double p = model_.is_pmos ? -1.0 : 1.0;
+  const bool swapped = p * (vd - vs) < 0.0;
+  const int nd = swapped ? s_ : d_;
+  const int ns = swapped ? d_ : s_;
+
+  const MosEval e = evaluate(vd, vg, vs, vb);
+  mna.add(nd, g_, cd{e.gm, 0.0});
+  mna.add(nd, nd, cd{e.gds, 0.0});
+  mna.add(nd, b_, cd{e.gmb, 0.0});
+  mna.add(nd, ns, cd{-(e.gm + e.gds + e.gmb), 0.0});
+  mna.add(ns, g_, cd{-e.gm, 0.0});
+  mna.add(ns, nd, cd{-e.gds, 0.0});
+  mna.add(ns, b_, cd{-e.gmb, 0.0});
+  mna.add(ns, ns, cd{e.gm + e.gds + e.gmb, 0.0});
+
+  const auto cs = meyer_caps(op);
+  for (std::size_t k = 0; k < cs.size(); ++k) {
+    if (cs[k] <= 0.0) continue;
+    mna.stamp_conductance(cap_nodes_[k].first, cap_nodes_[k].second,
+                          cd{0.0, omega * cs[k]});
+  }
+}
+
+}  // namespace uwbams::spice

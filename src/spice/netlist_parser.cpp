@@ -1,0 +1,388 @@
+#include "spice/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace uwbams::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// A logical line (after continuation join) split into tokens. Parentheses
+// and commas act as separators so "PULSE(0 1.8 0 1n 1n 5n 10n)" tokenizes.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : line) {
+    if (c == '(' || c == ')' || c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) toks.push_back(cur);
+  return toks;
+}
+
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<std::string> body;  // raw logical lines
+};
+
+struct ParserState {
+  Circuit* ckt = nullptr;
+  std::map<std::string, MosModel> models;
+  std::map<std::string, SubcktDef> subckts;
+};
+
+bool is_number_start(const std::string& t) {
+  return !t.empty() && (std::isdigit(static_cast<unsigned char>(t[0])) ||
+                        t[0] == '-' || t[0] == '+' || t[0] == '.');
+}
+
+Waveform parse_waveform(const std::vector<std::string>& toks, std::size_t& i,
+                        double& ac_mag, double& ac_phase) {
+  Waveform wf = Waveform::dc(0.0);
+  bool have_shape = false;
+  while (i < toks.size()) {
+    const std::string key = lower(toks[i]);
+    if (key == "dc") {
+      ++i;
+      if (i >= toks.size()) throw std::invalid_argument("DC needs a value");
+      wf = Waveform::dc(parse_spice_value(toks[i++]));
+      have_shape = true;
+    } else if (key == "ac") {
+      ++i;
+      if (i >= toks.size()) throw std::invalid_argument("AC needs a magnitude");
+      ac_mag = parse_spice_value(toks[i++]);
+      if (i < toks.size() && is_number_start(toks[i]))
+        ac_phase = parse_spice_value(toks[i++]);
+    } else if (key == "pulse") {
+      ++i;
+      std::vector<double> p;
+      while (i < toks.size() && is_number_start(toks[i]))
+        p.push_back(parse_spice_value(toks[i++]));
+      if (p.size() < 7) p.resize(7, 0.0);
+      wf = Waveform::pulse(p[0], p[1], p[2], p[3], p[4], p[5], p[6]);
+      have_shape = true;
+    } else if (key == "sin") {
+      ++i;
+      std::vector<double> p;
+      while (i < toks.size() && is_number_start(toks[i]))
+        p.push_back(parse_spice_value(toks[i++]));
+      if (p.size() < 3) throw std::invalid_argument("SIN needs >= 3 values");
+      wf = Waveform::sine(p[0], p[1], p[2], p.size() > 3 ? p[3] : 0.0);
+      have_shape = true;
+    } else if (key == "pwl") {
+      ++i;
+      std::vector<double> t, v;
+      while (i + 1 < toks.size() && is_number_start(toks[i]) &&
+             is_number_start(toks[i + 1])) {
+        t.push_back(parse_spice_value(toks[i++]));
+        v.push_back(parse_spice_value(toks[i++]));
+      }
+      wf = Waveform::pwl(std::move(t), std::move(v));
+      have_shape = true;
+    } else if (is_number_start(toks[i]) && !have_shape) {
+      wf = Waveform::dc(parse_spice_value(toks[i++]));
+      have_shape = true;
+    } else {
+      throw std::invalid_argument("unexpected source token '" + toks[i] + "'");
+    }
+  }
+  return wf;
+}
+
+// key=value parameter scan starting at toks[i].
+std::map<std::string, double> parse_params(const std::vector<std::string>& toks,
+                                           std::size_t i) {
+  std::map<std::string, double> params;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i];
+    const auto eq = t.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("expected key=value, got '" + t + "'");
+    params[lower(t.substr(0, eq))] = parse_spice_value(t.substr(eq + 1));
+  }
+  return params;
+}
+
+void apply_model_params(MosModel& m, const std::map<std::string, double>& p) {
+  for (const auto& [k, v] : p) {
+    if (k == "vt0" || k == "vto") m.vt0 = v;
+    else if (k == "kp") m.kp = v;
+    else if (k == "gamma") m.gamma = v;
+    else if (k == "phi") m.phi = v;
+    else if (k == "lambda") m.lambda = v;
+    else if (k == "tox") m.tox = v;
+    else if (k == "ld") m.ld = v;
+    else if (k == "cgso") m.cgso = v;
+    else if (k == "cgdo") m.cgdo = v;
+    else if (k == "cgbo") m.cgbo = v;
+    else if (k == "cj") m.cj = v;
+    else if (k == "ldiff") m.ldiff = v;
+    else if (k == "level") { /* level-1 only; accepted and ignored */ }
+    else throw std::invalid_argument("unknown .model parameter '" + k + "'");
+  }
+}
+
+void parse_card(ParserState& st, const std::string& raw,
+                const std::string& prefix,
+                const std::map<std::string, std::string>& node_map);
+
+// Resolve a node name through a subckt port mapping (or prefix local nodes).
+std::string map_node(const std::string& name, const std::string& prefix,
+                     const std::map<std::string, std::string>& node_map) {
+  const std::string key = lower(name);
+  if (key == "0" || key == "gnd") return "0";
+  auto it = node_map.find(key);
+  if (it != node_map.end()) return it->second;
+  return prefix.empty() ? name : prefix + "." + name;
+}
+
+void expand_subckt(ParserState& st, const std::vector<std::string>& toks,
+                   const std::string& prefix,
+                   const std::map<std::string, std::string>& outer_map) {
+  // Xname n1 n2 ... subcktname
+  if (toks.size() < 3)
+    throw std::invalid_argument("X card needs nodes and a subckt name");
+  const std::string sub_name = lower(toks.back());
+  auto it = st.subckts.find(sub_name);
+  if (it == st.subckts.end())
+    throw std::invalid_argument("unknown subckt '" + toks.back() + "'");
+  const SubcktDef& def = it->second;
+  const std::size_t n_nodes = toks.size() - 2;
+  if (n_nodes != def.ports.size())
+    throw std::invalid_argument("subckt '" + sub_name + "' expects " +
+                                std::to_string(def.ports.size()) + " nodes");
+  const std::string inst = prefix.empty() ? toks[0] : prefix + "." + toks[0];
+  std::map<std::string, std::string> inner_map;
+  for (std::size_t k = 0; k < n_nodes; ++k)
+    inner_map[lower(def.ports[k])] = map_node(toks[1 + k], prefix, outer_map);
+  for (const auto& line : def.body) parse_card(st, line, inst, inner_map);
+}
+
+void parse_card(ParserState& st, const std::string& raw,
+                const std::string& prefix,
+                const std::map<std::string, std::string>& node_map) {
+  const auto toks = tokenize(raw);
+  if (toks.empty()) return;
+  const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(toks[0][0])));
+  Circuit& ckt = *st.ckt;
+  auto name = [&](const std::string& n) {
+    return prefix.empty() ? n : prefix + "." + n;
+  };
+  auto node = [&](const std::string& n) {
+    return ckt.node(map_node(n, prefix, node_map));
+  };
+
+  switch (kind) {
+    case 'r':
+      if (toks.size() < 4) throw std::invalid_argument("R card: Rname n1 n2 value");
+      ckt.add<Resistor>(name(toks[0]), node(toks[1]), node(toks[2]),
+                        parse_spice_value(toks[3]));
+      return;
+    case 'c':
+      if (toks.size() < 4) throw std::invalid_argument("C card: Cname n1 n2 value");
+      ckt.add<Capacitor>(name(toks[0]), node(toks[1]), node(toks[2]),
+                         parse_spice_value(toks[3]));
+      return;
+    case 'l':
+      if (toks.size() < 4) throw std::invalid_argument("L card: Lname n1 n2 value");
+      ckt.add<Inductor>(name(toks[0]), node(toks[1]), node(toks[2]),
+                        parse_spice_value(toks[3]));
+      return;
+    case 'v': {
+      if (toks.size() < 3) throw std::invalid_argument("V card: Vname n+ n- ...");
+      std::size_t i = 3;
+      double ac_mag = 0.0, ac_phase = 0.0;
+      Waveform wf = (toks.size() > 3)
+                        ? parse_waveform(toks, i, ac_mag, ac_phase)
+                        : Waveform::dc(0.0);
+      ckt.add<VoltageSource>(name(toks[0]), node(toks[1]), node(toks[2]), wf,
+                             ac_mag, ac_phase);
+      return;
+    }
+    case 'i': {
+      if (toks.size() < 3) throw std::invalid_argument("I card: Iname n+ n- ...");
+      std::size_t i = 3;
+      double ac_mag = 0.0, ac_phase = 0.0;
+      Waveform wf = (toks.size() > 3)
+                        ? parse_waveform(toks, i, ac_mag, ac_phase)
+                        : Waveform::dc(0.0);
+      ckt.add<CurrentSource>(name(toks[0]), node(toks[1]), node(toks[2]), wf,
+                             ac_mag);
+      return;
+    }
+    case 'e':
+      if (toks.size() < 6)
+        throw std::invalid_argument("E card: Ename n+ n- c+ c- gain");
+      ckt.add<Vcvs>(name(toks[0]), node(toks[1]), node(toks[2]), node(toks[3]),
+                    node(toks[4]), parse_spice_value(toks[5]));
+      return;
+    case 'g':
+      if (toks.size() < 6)
+        throw std::invalid_argument("G card: Gname n+ n- c+ c- gm");
+      ckt.add<Vccs>(name(toks[0]), node(toks[1]), node(toks[2]), node(toks[3]),
+                    node(toks[4]), parse_spice_value(toks[5]));
+      return;
+    case 'm': {
+      if (toks.size() < 6)
+        throw std::invalid_argument("M card: Mname d g s b model W=.. L=..");
+      auto mit = st.models.find(lower(toks[5]));
+      MosModel model =
+          mit != st.models.end() ? mit->second : builtin_model(toks[5]);
+      const auto params = parse_params(toks, 6);
+      double w = 1e-6, l = 0.18e-6;
+      for (const auto& [k, v] : params) {
+        if (k == "w") w = v;
+        else if (k == "l") l = v;
+        else if (k == "m") w *= v;  // parallel multiplier folded into width
+        else throw std::invalid_argument("unknown MOS parameter '" + k + "'");
+      }
+      ckt.add<Mosfet>(name(toks[0]), node(toks[1]), node(toks[2]),
+                      node(toks[3]), node(toks[4]), model, w, l);
+      return;
+    }
+    case 'x':
+      expand_subckt(st, toks, prefix, node_map);
+      return;
+    default:
+      throw std::invalid_argument("unsupported element card '" + toks[0] + "'");
+  }
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty numeric value");
+  std::size_t pos = 0;
+  double v;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value '" + token + "'");
+  }
+  std::string suffix = lower(token.substr(pos));
+  if (suffix.empty()) return v;
+  // "meg" must be checked before "m".
+  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  switch (suffix[0]) {
+    case 't': return v * 1e12;
+    case 'g': return v * 1e9;
+    case 'k': return v * 1e3;
+    case 'm': return v * 1e-3;
+    case 'u': return v * 1e-6;
+    case 'n': return v * 1e-9;
+    case 'p': return v * 1e-12;
+    case 'f': return v * 1e-15;
+    default:
+      throw std::invalid_argument("unknown value suffix in '" + token + "'");
+  }
+}
+
+void parse_netlist(const std::string& text, Circuit& circuit) {
+  // Join continuation lines, strip comments.
+  std::vector<std::string> logical;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (const auto semi = line.find(';'); semi != std::string::npos)
+      line = line.substr(0, semi);
+    // Trim leading whitespace.
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) { first = false; continue; }
+    line = line.substr(start);
+    if (line[0] == '*') { first = false; continue; }
+    if (line[0] == '+') {
+      if (logical.empty())
+        throw std::invalid_argument("netlist: continuation with no previous line");
+      logical.back() += " " + line.substr(1);
+      continue;
+    }
+    // SPICE convention: the first line of a deck is its title.
+    if (first && line[0] != '.') {
+      first = false;
+      // Heuristic: treat it as a card if it parses like one (our decks
+      // always start with a comment or directive, so titles are rare).
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(line[0])));
+      if (std::string("rclvieg mx").find(c) == std::string::npos) continue;
+    }
+    first = false;
+    logical.push_back(line);
+  }
+
+  ParserState st;
+  st.ckt = &circuit;
+
+  // First pass: collect .model and .subckt definitions.
+  std::vector<std::string> top_cards;
+  for (std::size_t li = 0; li < logical.size(); ++li) {
+    const std::string& l = logical[li];
+    const auto toks = tokenize(l);
+    const std::string head = lower(toks[0]);
+    if (head == ".model") {
+      if (toks.size() < 3)
+        throw std::invalid_argument(".model needs a name and a type");
+      MosModel m = builtin_model(toks[2]);  // "nmos"/"pmos" base
+      m.name = lower(toks[1]);
+      std::map<std::string, double> params;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        const auto eq = toks[i].find('=');
+        if (eq == std::string::npos)
+          throw std::invalid_argument(".model: expected key=value");
+        params[lower(toks[i].substr(0, eq))] =
+            parse_spice_value(toks[i].substr(eq + 1));
+      }
+      apply_model_params(m, params);
+      st.models[m.name] = m;
+    } else if (head == ".subckt") {
+      if (toks.size() < 2) throw std::invalid_argument(".subckt needs a name");
+      SubcktDef def;
+      for (std::size_t i = 2; i < toks.size(); ++i) def.ports.push_back(toks[i]);
+      ++li;
+      while (li < logical.size() &&
+             lower(tokenize(logical[li])[0]) != ".ends") {
+        def.body.push_back(logical[li]);
+        ++li;
+      }
+      if (li >= logical.size())
+        throw std::invalid_argument(".subckt '" + toks[1] + "' missing .ends");
+      st.subckts[lower(toks[1])] = std::move(def);
+    } else if (head[0] == '.') {
+      // .end/.tran/.op/.title etc.: ignored.
+    } else {
+      top_cards.push_back(l);
+    }
+  }
+
+  // Second pass: elaborate element cards.
+  for (const auto& card : top_cards) parse_card(st, card, "", {});
+}
+
+void parse_netlist_file(const std::string& path, Circuit& circuit) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open netlist file: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  parse_netlist(ss.str(), circuit);
+}
+
+}  // namespace uwbams::spice

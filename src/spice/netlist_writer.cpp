@@ -1,0 +1,105 @@
+#include "spice/netlist_writer.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "spice/device.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace uwbams::spice {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+// Node name from an MNA matrix index (-1 = ground).
+std::string node_of(const Circuit& ckt, int idx) {
+  if (idx < 0) return "0";
+  return ckt.node_name(idx + 1);
+}
+
+}  // namespace
+
+// Default card: devices without serialization emit a comment.
+std::string Device::card(const Circuit&) const {
+  return "* " + name_ + " (no card form)";
+}
+
+std::string write_netlist(const Circuit& circuit, const std::string& title) {
+  std::ostringstream os;
+  os << "* " << title << "\n";
+
+  // Distinct MOSFET model cards by name.
+  std::map<std::string, const MosModel*> models;
+  for (const auto& d : circuit.devices()) {
+    if (const auto* m = dynamic_cast<const Mosfet*>(d.get()))
+      models.emplace(m->model().name, &m->model());
+  }
+  for (const auto& [name, m] : models) {
+    os << ".model " << name << " " << (m->is_pmos ? "pmos" : "nmos")
+       << " vt0=" << num(m->vt0) << " kp=" << num(m->kp)
+       << " gamma=" << num(m->gamma) << " phi=" << num(m->phi)
+       << " lambda=" << num(m->lambda) << " tox=" << num(m->tox)
+       << " ld=" << num(m->ld) << " cgso=" << num(m->cgso)
+       << " cgdo=" << num(m->cgdo) << " cgbo=" << num(m->cgbo)
+       << " cj=" << num(m->cj) << " ldiff=" << num(m->ldiff) << "\n";
+  }
+
+  for (const auto& d : circuit.devices()) os << d->card(circuit) << "\n";
+  os << ".end\n";
+  return os.str();
+}
+
+// ---- per-device card implementations ---------------------------------
+
+std::string Resistor::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) + " " +
+         num(ohms_);
+}
+
+std::string Capacitor::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) + " " +
+         num(farads_);
+}
+
+std::string Inductor::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) + " " +
+         num(henries_);
+}
+
+std::string VoltageSource::card(const Circuit& ckt) const {
+  std::string s = name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) +
+                  " DC " + num(wf_.dc_value());
+  if (ac_mag_ != 0.0)
+    s += " AC " + num(ac_mag_) + " " + num(ac_phase_deg_);
+  return s;
+}
+
+std::string CurrentSource::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) + " DC " +
+         num(wf_.dc_value());
+}
+
+std::string Vcvs::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) + " " +
+         node_of(ckt, ca_) + " " + node_of(ckt, cb_) + " " + num(gain_);
+}
+
+std::string Vccs::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, a_) + " " + node_of(ckt, b_) + " " +
+         node_of(ckt, ca_) + " " + node_of(ckt, cb_) + " " + num(gm_);
+}
+
+std::string Mosfet::card(const Circuit& ckt) const {
+  return name() + " " + node_of(ckt, d_) + " " + node_of(ckt, g_) + " " +
+         node_of(ckt, s_) + " " + node_of(ckt, b_) + " " + model_.name +
+         " W=" + num(width_) + " L=" + num(length_);
+}
+
+}  // namespace uwbams::spice

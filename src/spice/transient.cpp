@@ -1,0 +1,120 @@
+#include "spice/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace uwbams::spice {
+
+TransientSession::TransientSession(Circuit& circuit, TransientOptions options)
+    : circuit_(&circuit), opts_(options) {
+  circuit_->prepare();
+  OpResult op = solve_op(*circuit_, opts_.op);
+  if (!op.converged)
+    throw std::runtime_error("TransientSession: operating point did not converge");
+  op_ = op.x;
+  x_ = op.x;
+  for (const auto& dev : circuit_->devices()) dev->init_state(x_);
+}
+
+double TransientSession::v(const std::string& node_name) const {
+  const NodeId n = circuit_->find_node(node_name);
+  if (n < 0)
+    throw std::invalid_argument("TransientSession: unknown node '" + node_name + "'");
+  return v(n);
+}
+
+VoltageSource& TransientSession::source(const std::string& name) {
+  Device* d = circuit_->find_device(name);
+  auto* vs = dynamic_cast<VoltageSource*>(d);
+  if (!vs)
+    throw std::invalid_argument("TransientSession: no voltage source '" + name + "'");
+  return *vs;
+}
+
+bool TransientSession::newton_step(double dt, Integrator method,
+                                   std::vector<double>& x) {
+  const std::size_t n = circuit_->unknown_count();
+  Mna<double> mna(n);
+  StampArgs args;
+  args.mode = AnalysisMode::kTransient;
+  args.method = method;
+  args.t = t_ + dt;
+  args.dt = dt;
+  args.gmin = opts_.gmin;
+  args.x = &x;
+
+  for (int it = 0; it < opts_.max_newton; ++it) {
+    mna.clear();
+    for (const auto& dev : circuit_->devices()) dev->stamp(mna, args);
+    std::vector<double> x_new;
+    try {
+      x_new = linalg::solve(mna.matrix(), mna.rhs());
+    } catch (const std::runtime_error&) {
+      newton_total_ += static_cast<std::uint64_t>(it + 1);
+      return false;
+    }
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = x_new[i] - x[i];
+      if (std::abs(delta) > opts_.vabstol + opts_.reltol * std::abs(x_new[i]))
+        converged = false;
+    }
+    x = std::move(x_new);
+    if (converged) {
+      newton_total_ += static_cast<std::uint64_t>(it + 1);
+      return true;
+    }
+  }
+  newton_total_ += static_cast<std::uint64_t>(opts_.max_newton);
+  return false;
+}
+
+void TransientSession::commit_all(const std::vector<double>& x, double dt) {
+  for (const auto& dev : circuit_->devices()) dev->commit(x, t_ + dt, dt);
+}
+
+void TransientSession::step(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("TransientSession::step: dt <= 0");
+
+  std::vector<double> x = x_;  // warm start from committed solution
+  if (newton_step(dt, opts_.method, x)) {
+    commit_all(x, dt);
+    x_ = std::move(x);
+    t_ += dt;
+    ++steps_;
+    return;
+  }
+
+  // Fallback 1: backward Euler is more damped, often rescues the step.
+  x = x_;
+  if (newton_step(dt, Integrator::kBackwardEuler, x)) {
+    commit_all(x, dt);
+    x_ = std::move(x);
+    t_ += dt;
+    ++steps_;
+    ++fallbacks_;
+    return;
+  }
+
+  // Fallback 2: four BE sub-steps.
+  ++fallbacks_;
+  const double sub = dt / 4.0;
+  for (int k = 0; k < 4; ++k) {
+    x = x_;
+    if (!newton_step(sub, Integrator::kBackwardEuler, x))
+      throw std::runtime_error("TransientSession: Newton failed at t=" +
+                               std::to_string(t_));
+    commit_all(x, sub);
+    x_ = std::move(x);
+    t_ += sub;
+  }
+  ++steps_;
+}
+
+void TransientSession::run_until(double t_stop) {
+  while (t_ < t_stop - 0.5 * opts_.dt) step(opts_.dt);
+}
+
+}  // namespace uwbams::spice

@@ -1,0 +1,76 @@
+// transient.hpp — resumable fixed-step transient analysis.
+//
+// TransientSession is the unit the AMS kernel co-simulates with: it owns the
+// Newton state of one circuit and advances one time step at a time, letting
+// ams::SpiceBridge interleave circuit steps with behavioral-model steps —
+// the "substitute-and-play" mechanism of the paper's Phase III.
+//
+// Solver configuration follows the paper: fixed time step (0.05 ns in the
+// system benches), Newton–Raphson per step, EPS-style tolerance 1e-6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/op.hpp"
+
+namespace uwbams::spice {
+
+struct TransientOptions {
+  double dt = 0.05e-9;
+  Integrator method = Integrator::kTrapezoidal;
+  int max_newton = 60;
+  double vabstol = 1e-6;
+  double reltol = 1e-3;
+  double gmin = 1e-12;
+  OpOptions op;  // initial operating point options
+};
+
+class TransientSession {
+ public:
+  // Prepares the circuit, solves the initial operating point and primes the
+  // dynamic device history. Throws std::runtime_error if the OP fails.
+  TransientSession(Circuit& circuit, TransientOptions options = {});
+
+  double time() const { return t_; }
+  const TransientOptions& options() const { return opts_; }
+
+  // Advance one step of options().dt (or an explicit dt). Throws
+  // std::runtime_error if Newton fails even after the BE/sub-step fallback.
+  void step() { step(opts_.dt); }
+  void step(double dt);
+  // Advance until `t_stop`, recording nothing. Convenience for tests.
+  void run_until(double t_stop);
+
+  // Solution access.
+  double v(NodeId node) const { return circuit_->voltage_in(x_, node); }
+  double v(const std::string& node_name) const;
+  const std::vector<double>& solution() const { return x_; }
+  const std::vector<double>& operating_point() const { return op_; }
+
+  // Named voltage source handle for external driving (co-simulation).
+  VoltageSource& source(const std::string& name);
+
+  // Diagnostics.
+  std::uint64_t total_newton_iterations() const { return newton_total_; }
+  std::uint64_t steps_taken() const { return steps_; }
+  std::uint64_t fallback_steps() const { return fallbacks_; }
+
+ private:
+  bool newton_step(double dt, Integrator method, std::vector<double>& x);
+  void commit_all(const std::vector<double>& x, double dt);
+
+  Circuit* circuit_;
+  TransientOptions opts_;
+  std::vector<double> x_;   // current committed solution
+  std::vector<double> op_;  // initial operating point
+  double t_ = 0.0;
+  std::uint64_t newton_total_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace uwbams::spice

@@ -1,0 +1,41 @@
+#include "uwb/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uwbams::uwb {
+
+Adc::Adc(int bits, double vmin, double vmax)
+    : bits_(bits), max_code_((1 << bits) - 1), vmin_(vmin),
+      lsb_((vmax - vmin) / ((1 << bits) - 1)) {
+  if (bits < 1 || bits > 24) throw std::invalid_argument("Adc: bad bit count");
+  if (vmax <= vmin) throw std::invalid_argument("Adc: bad range");
+}
+
+int Adc::quantize(double v) const {
+  const int code = static_cast<int>(std::lround((v - vmin_) / lsb_));
+  return std::clamp(code, 0, max_code_);
+}
+
+double Adc::code_to_voltage(int code) const {
+  return vmin_ + std::clamp(code, 0, max_code_) * lsb_;
+}
+
+Dac::Dac(int bits, double vmin, double vmax)
+    : bits_(bits), max_code_((1 << bits) - 1), vmin_(vmin),
+      step_((vmax - vmin) / ((1 << bits) - 1)) {
+  if (bits < 1 || bits > 24) throw std::invalid_argument("Dac: bad bit count");
+  if (vmax <= vmin) throw std::invalid_argument("Dac: bad range");
+}
+
+double Dac::value(int code) const {
+  return vmin_ + std::clamp(code, 0, max_code_) * step_;
+}
+
+int Dac::nearest_code(double v) const {
+  const int code = static_cast<int>(std::lround((v - vmin_) / step_));
+  return std::clamp(code, 0, max_code_);
+}
+
+}  // namespace uwbams::uwb

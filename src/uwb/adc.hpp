@@ -1,0 +1,45 @@
+// adc.hpp — uniform quantizers: the I&D-output ADC and the AGC gain DAC.
+//
+// Quantization of both converters is one of the non-idealities the paper's
+// Phase II explicitly keeps in the behavioral system model.
+#pragma once
+
+namespace uwbams::uwb {
+
+class Adc {
+ public:
+  Adc(int bits, double vmin, double vmax);
+
+  int bits() const { return bits_; }
+  int max_code() const { return max_code_; }
+  double lsb() const { return lsb_; }
+  // Saturating uniform quantization.
+  int quantize(double v) const;
+  // Center voltage of a code (inverse map).
+  double code_to_voltage(int code) const;
+
+ private:
+  int bits_;
+  int max_code_;
+  double vmin_;
+  double lsb_;
+};
+
+class Dac {
+ public:
+  Dac(int bits, double vmin, double vmax);
+
+  int bits() const { return bits_; }
+  int max_code() const { return max_code_; }
+  double value(int code) const;  // code clamped to range
+  // Nearest code for a target value.
+  int nearest_code(double v) const;
+
+ private:
+  int bits_;
+  int max_code_;
+  double vmin_;
+  double step_;
+};
+
+}  // namespace uwbams::uwb

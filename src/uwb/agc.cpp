@@ -1,0 +1,60 @@
+#include "uwb/agc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uwbams::uwb {
+
+AgcController::AgcController(Amplifier& vga, const AgcConfig& cfg)
+    : vga_(vga), cfg_(cfg), dac_(cfg.dac_bits, cfg.vga_min_db, cfg.vga_max_db),
+      code_(dac_.nearest_code(vga.gain_db())) {
+  vga_.set_gain_db(dac_.value(code_));
+}
+
+bool AgcController::update(int peak_code, double squared_peak_v) {
+  ++iterations_;
+  int new_code = code_;
+
+  if (cfg_.post_gain_enabled && squared_peak_v > 0.0) {
+    // Two-stage policy (paper §5 proposal): the *input* stage keeps the
+    // squared signal inside the integrator linear range...
+    const double err_db =
+        10.0 * std::log10(cfg_.input_peak_target /
+                          std::max(squared_peak_v, 1e-6));
+    new_code = std::clamp(
+        code_ + static_cast<int>(std::lround(
+                    err_db / (dac_.value(1) - dac_.value(0)))),
+        0, dac_.max_code());
+    // ...and the post-scale matches the integrated energy to the ADC.
+    if (peak_code > 0) {
+      post_scale_ *= static_cast<double>(cfg_.target_code) /
+                     std::max(1, peak_code);
+      post_scale_ = std::clamp(post_scale_, 0.1, 16.0);
+    }
+  } else {
+    // Single-stage policy (paper §2 architecture): drive the peak energy
+    // code to the ADC target. Energy scales with gain^2, so the code error
+    // maps to dB with a factor 10.
+    if (peak_code >= cfg_.adc_max_code) {
+      new_code = std::max(0, code_ - std::max(1, dac_.max_code() / 8));
+    } else if (peak_code > 0) {
+      const double err_db =
+          10.0 * std::log10(static_cast<double>(cfg_.target_code) /
+                            static_cast<double>(peak_code));
+      const double step_db = dac_.value(1) - dac_.value(0);
+      new_code = std::clamp(
+          code_ + static_cast<int>(std::lround(err_db / step_db)), 0,
+          dac_.max_code());
+    } else {
+      new_code = std::min(dac_.max_code(),
+                          code_ + std::max(1, dac_.max_code() / 8));
+    }
+  }
+
+  const bool changed = new_code != code_;
+  code_ = new_code;
+  vga_.set_gain_db(dac_.value(code_));
+  return changed;
+}
+
+}  // namespace uwbams::uwb

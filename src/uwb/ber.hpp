@@ -1,0 +1,68 @@
+// ber.hpp — bit-error-rate measurement (Fig. 6) and the semi-analytic
+// energy-detection reference used to validate the simulated chain.
+//
+// BER runs use genie timing (the paper's Phase I/II setup: "a control
+// signal forced by an ideal synchronizer") so the measured error rate
+// isolates the detector itself. The channel is AWGN with a configurable
+// received pulse amplitude; Eb/N0 sets the noise PSD from the received
+// pulse energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uwb/config.hpp"
+#include "uwb/receiver.hpp"
+
+namespace uwbams::uwb {
+
+struct BerConfig {
+  SystemConfig sys;
+  std::vector<double> ebn0_db = {0, 2, 4, 6, 8, 10, 12, 14};
+  std::uint64_t max_bits = 20000;   // per Eb/N0 point
+  std::uint64_t min_errors = 30;    // early stop once reached
+  int batch_bits = 200;             // payload bits per simulated packet
+  double rx_pulse_peak = 10e-3;     // received pulse amplitude [V]
+  // Gain-calibration target as a fraction of the ADC full scale. This is
+  // the AGC operating point of the paper's §5 discussion: warm targets
+  // (>0.2) exploit the ADC but push the squared signal beyond the
+  // integrator linear range (compression penalty); the default cold target
+  // keeps the signal inside the range, where the clamp censors noise
+  // spikes and the circuit integrator *outperforms* the ideal one at high
+  // Eb/N0 (the paper's Fig. 6 crossover).
+  double calibration_fraction = 0.12;
+
+  BerConfig() {
+    // The 32 ns window covers the pulse burst; with the ~550 MHz noise
+    // bandwidth of the front end the time-bandwidth product is ~18, which
+    // keeps the energy-detector waterfall in the paper's Eb/N0 region
+    // (see DESIGN.md §5).
+    sys.preamble_symbols = 0;  // genie runs are payload-only
+    sys.multipath = false;
+    sys.distance = 1.0;
+  }
+};
+
+struct BerPoint {
+  double ebn0_db = 0.0;
+  double ber = 0.0;
+  std::uint64_t bits = 0;
+  std::uint64_t errors = 0;
+  double half_width_95 = 0.0;  // Wilson interval half width
+};
+
+// Monte-Carlo sweep of the full analog/digital chain with the given
+// integrator fidelity.
+std::vector<BerPoint> run_ber_sweep(const BerConfig& config,
+                                    const IntegratorFactory& make_integrator);
+
+// Semi-analytic 2-PPM energy-detection BER (Gaussian approximation of the
+// chi-square statistics):  Pe = Q( r / sqrt(2 r + 2 M) ),  r = Eb/N0,
+// M = B*T the time-bandwidth (pairs-of-dof) product.
+double energy_detection_ber_theory(double ebn0_db, double tw_product);
+
+// Effective noise time-bandwidth product of the receiver for a config
+// (single-pole VGA bandwidth model; used for the theory overlay).
+double receiver_tw_product(const SystemConfig& sys);
+
+}  // namespace uwbams::uwb

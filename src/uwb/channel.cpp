@@ -1,0 +1,169 @@
+#include "uwb/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "base/units.hpp"
+
+namespace uwbams::uwb {
+
+double ChannelRealization::total_energy() const {
+  double e = 0.0;
+  for (const auto& t : taps) e += t.gain * t.gain;
+  return e;
+}
+
+double ChannelRealization::rms_delay_spread() const {
+  const double e = total_energy();
+  if (e <= 0.0) return 0.0;
+  double m1 = 0.0, m2 = 0.0;
+  for (const auto& t : taps) {
+    const double p = t.gain * t.gain / e;
+    m1 += p * t.delay;
+    m2 += p * t.delay * t.delay;
+  }
+  return std::sqrt(std::max(m2 - m1 * m1, 0.0));
+}
+
+double ChannelRealization::peak_gain() const {
+  double g = 0.0;
+  for (const auto& t : taps) g = std::max(g, std::abs(t.gain));
+  return g;
+}
+
+ChannelRealization generate_cm1(base::Rng& rng,
+                                const SalehValenzuelaParams& p) {
+  ChannelRealization cr;
+
+  // Number of clusters: Poisson with mean L-bar, at least one (the LOS
+  // cluster at zero excess delay).
+  int n_clusters = 0;
+  {
+    // Poisson(mean_clusters) by exponential inter-arrival counting: the
+    // number of rate-L arrivals in a unit interval.
+    double acc = rng.exponential(p.mean_clusters);
+    while (acc < 1.0) {
+      ++n_clusters;
+      acc += rng.exponential(p.mean_clusters);
+    }
+    n_clusters = std::max(1, n_clusters);
+  }
+
+  double t_cluster = 0.0;
+  for (int c = 0; c < n_clusters; ++c) {
+    if (c > 0) t_cluster = rng.poisson_arrival_after(t_cluster, p.cluster_rate);
+    if (t_cluster > p.max_excess_delay) break;
+    const double cluster_power = std::exp(-t_cluster / p.cluster_decay);
+
+    double t_ray = 0.0;
+    bool first_ray = true;
+    while (true) {
+      if (!first_ray) {
+        const double rate =
+            (rng.uniform() < p.ray_mix_beta) ? p.ray_rate1 : p.ray_rate2;
+        t_ray = rng.poisson_arrival_after(t_ray, rate);
+      }
+      first_ray = false;
+      if (t_cluster + t_ray > p.max_excess_delay) break;
+      const double omega =
+          cluster_power * std::exp(-t_ray / p.ray_decay);
+      if (omega < 1e-5 * cluster_power && t_ray > 3.0 * p.ray_decay) break;
+      // Nakagami-m magnitude with lognormal m (clamped to >= 0.5 where the
+      // Nakagami distribution is defined). The LOS first path uses the
+      // higher first-component m of the 4a report.
+      double m = p.nakagami_m_median *
+                 std::exp(p.nakagami_m_sigma * rng.gaussian());
+      if (c == 0 && t_ray == 0.0) m = p.nakagami_m_first;
+      m = std::max(m, 0.5);
+      const double amp = rng.nakagami(m, omega);
+      const double sign = rng.bit() ? 1.0 : -1.0;
+      cr.taps.push_back({t_cluster + t_ray, sign * amp});
+      if (static_cast<int>(cr.taps.size()) > 16 * p.max_taps) break;
+    }
+  }
+  if (cr.taps.empty()) cr.taps.push_back({0.0, 1.0});
+
+  // Keep the strongest max_taps taps (coverage vs. cost trade documented in
+  // DESIGN.md), re-sort by delay, then normalize to unit energy.
+  std::sort(cr.taps.begin(), cr.taps.end(),
+            [](const ChannelTap& a, const ChannelTap& b) {
+              return std::abs(a.gain) > std::abs(b.gain);
+            });
+  if (static_cast<int>(cr.taps.size()) > p.max_taps)
+    cr.taps.resize(static_cast<std::size_t>(p.max_taps));
+  std::sort(cr.taps.begin(), cr.taps.end(),
+            [](const ChannelTap& a, const ChannelTap& b) {
+              return a.delay < b.delay;
+            });
+  // Shift so the first kept tap defines zero excess delay (the LOS path).
+  const double t0 = cr.taps.front().delay;
+  for (auto& t : cr.taps) t.delay -= t0;
+
+  const double e = cr.total_energy();
+  const double norm = 1.0 / std::sqrt(e);
+  for (auto& t : cr.taps) t.gain *= norm;
+  return cr;
+}
+
+double path_loss_db(double distance_m, double pl0_db, double exponent) {
+  if (distance_m <= 0.0)
+    throw std::invalid_argument("path_loss_db: distance must be positive");
+  return pl0_db + 10.0 * exponent * std::log10(distance_m);
+}
+
+ChannelBlock::ChannelBlock(const SystemConfig& cfg, const double* input)
+    : cfg_(cfg), in_(input), n0_(cfg.noise_psd), distance_(cfg.distance),
+      rng_(cfg.seed) {
+  taps_.push_back({0.0, 1.0});
+  rebuild_taps();
+}
+
+void ChannelBlock::set_realization(const ChannelRealization& realization,
+                                   double amplitude_scale) {
+  taps_ = realization.taps;
+  scale_ = amplitude_scale;
+  rebuild_taps();
+}
+
+void ChannelBlock::set_awgn_only(double amplitude_scale) {
+  taps_.assign(1, ChannelTap{0.0, 1.0});
+  scale_ = amplitude_scale;
+  rebuild_taps();
+}
+
+void ChannelBlock::set_distance(double meters) {
+  distance_ = meters;
+  rebuild_taps();
+}
+
+void ChannelBlock::rebuild_taps() {
+  const double prop_delay = distance_ / units::speed_of_light;
+  sampled_.clear();
+  int max_delay = 1;
+  for (const auto& t : taps_) {
+    const int d =
+        static_cast<int>(std::round((prop_delay + t.delay) / cfg_.dt));
+    sampled_.push_back({d, t.gain * scale_});
+    max_delay = std::max(max_delay, d);
+  }
+  delay_line_.assign(static_cast<std::size_t>(max_delay + 2), 0.0);
+  write_pos_ = 0;
+}
+
+void ChannelBlock::step(double /*t*/, double /*dt*/) {
+  delay_line_[write_pos_] = (in_ != nullptr) ? *in_ : 0.0;
+  const std::size_t n = delay_line_.size();
+  double acc = 0.0;
+  for (const auto& tap : sampled_) {
+    const std::size_t idx =
+        (write_pos_ + n - static_cast<std::size_t>(tap.delay_samples)) % n;
+    acc += tap.gain * delay_line_[idx];
+  }
+  if (n0_ > 0.0)
+    acc += rng_.gaussian() * std::sqrt(0.5 * n0_ * cfg_.sample_rate());
+  out_ = acc;
+  write_pos_ = (write_pos_ + 1) % n;
+}
+
+}  // namespace uwbams::uwb

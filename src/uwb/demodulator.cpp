@@ -1,0 +1,15 @@
+#include "uwb/demodulator.hpp"
+
+namespace uwbams::uwb {
+
+bool PpmDemodulator::decide(int slot0_code, int slot1_code) {
+  if (slot1_code > slot0_code) return true;
+  if (slot1_code < slot0_code) return false;
+  // Tie: xorshift pseudo-random decision, reproducible per demodulator.
+  tie_state_ ^= tie_state_ << 13;
+  tie_state_ ^= tie_state_ >> 7;
+  tie_state_ ^= tie_state_ << 17;
+  return (tie_state_ & 1ull) != 0;
+}
+
+}  // namespace uwbams::uwb

@@ -1,0 +1,34 @@
+#include "uwb/frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/units.hpp"
+
+namespace uwbams::uwb {
+
+Amplifier::Amplifier(const double* input, double gain_db, double sat,
+                     double bw)
+    : in_(input), gain_db_(gain_db),
+      gain_lin_(units::db_to_lin(gain_db)), sat_(sat), bw_(bw),
+      pole_(1.0, 2.0 * units::pi * (bw > 0.0 ? bw : 1.0)) {}
+
+void Amplifier::set_gain_db(double gain_db) {
+  gain_db_ = gain_db;
+  gain_lin_ = units::db_to_lin(gain_db);
+}
+
+void Amplifier::step(double /*t*/, double dt) {
+  double v = gain_lin_ * (*in_);
+  if (bw_ > 0.0) v = pole_.step(v, dt);
+  out_ = std::clamp(v, -sat_, sat_);
+}
+
+Squarer::Squarer(const double* input, double k) : in_(input), k_(k) {}
+
+void Squarer::step(double /*t*/, double /*dt*/) {
+  const double v = *in_;
+  out_ = k_ * v * v;
+}
+
+}  // namespace uwbams::uwb

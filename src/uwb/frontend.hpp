@@ -1,0 +1,52 @@
+// frontend.hpp — analog front-end blocks: LNA/VGA amplifier and squarer.
+//
+// Phase-II behavioral models: linear gain with hard saturation (the paper
+// keeps "saturation in the various stages" among the modeled
+// non-idealities) and an optional single-pole bandwidth limit. The VGA is
+// an Amplifier whose gain code is written by the AGC through a quantizing
+// DAC (uwb/dac in adc.hpp).
+#pragma once
+
+#include "ams/kernel.hpp"
+#include "ams/ode.hpp"
+
+namespace uwbams::uwb {
+
+class Amplifier : public ams::AnalogBlock {
+ public:
+  // gain_db: initial gain; sat: output clamp (|v| <= sat); bw: -3 dB
+  // single-pole bandwidth in Hz (0 = unlimited).
+  Amplifier(const double* input, double gain_db, double sat, double bw = 0.0);
+
+  void set_gain_db(double gain_db);
+  double gain_db() const { return gain_db_; }
+
+  void step(double t, double dt) override;
+  const double* out() const { return &out_; }
+
+ private:
+  const double* in_;
+  double gain_db_;
+  double gain_lin_;
+  double sat_;
+  double bw_;
+  ams::OnePoleState pole_;
+  double out_ = 0.0;
+};
+
+// Square-law device: out = k * v^2 (the "( )^2" block of Fig. 1). The
+// output is intrinsically non-negative; it feeds the I&D differential
+// input.
+class Squarer : public ams::AnalogBlock {
+ public:
+  Squarer(const double* input, double k);
+  void step(double t, double dt) override;
+  const double* out() const { return &out_; }
+
+ private:
+  const double* in_;
+  double k_;
+  double out_ = 0.0;
+};
+
+}  // namespace uwbams::uwb

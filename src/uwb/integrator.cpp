@@ -1,0 +1,115 @@
+#include "uwb/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/units.hpp"
+
+namespace uwbams::uwb {
+
+// ---------------------------------------------------------- IdealIntegrator
+
+IdealIntegrator::IdealIntegrator(const double* input, double k)
+    : in_(input), state_(k) {}
+
+void IdealIntegrator::set_mode(Mode mode) {
+  mode_ = mode;
+  if (mode == Mode::kDump) state_.reset();
+}
+
+void IdealIntegrator::step(double /*t*/, double dt) {
+  switch (mode_) {
+    case Mode::kIntegrate:
+      state_.step(*in_, dt);
+      break;
+    case Mode::kDump:
+      state_.reset();
+      break;
+    case Mode::kHold:
+      break;  // value frozen
+  }
+}
+
+// -------------------------------------------------------- TwoPoleIntegrator
+
+TwoPoleIntegrator::TwoPoleIntegrator(const double* input,
+                                     const TwoPoleParams& params)
+    : in_(input), params_(params),
+      state_(units::db_to_lin(params.dc_gain_db),
+             2.0 * units::pi * params.f_pole1,
+             2.0 * units::pi * params.f_pole2) {}
+
+void TwoPoleIntegrator::set_mode(Mode mode) {
+  mode_ = mode;
+  if (mode == Mode::kDump) state_.reset();
+}
+
+void TwoPoleIntegrator::step(double /*t*/, double dt) {
+  switch (mode_) {
+    case Mode::kIntegrate: {
+      double u = *in_;
+      if (params_.input_clamp > 0.0)
+        u = std::clamp(u, -params_.input_clamp, params_.input_clamp);
+      state_.step(u, dt);
+      break;
+    }
+    case Mode::kDump:
+      state_.reset();  // the paper's "else vo_q==0.0; vo==0.0"
+      break;
+    case Mode::kHold:
+      break;
+  }
+}
+
+// --------------------------------------------------------- SpiceIntegrator
+
+SpiceIntegrator::SpiceIntegrator(const double* input,
+                                 const spice::ItdSizing& sizing,
+                                 spice::TransientOptions options)
+    : in_(input), vdd_(sizing.vdd) {
+  auto circuit = std::make_unique<spice::Circuit>();
+  const auto tb = spice::build_itd_testbench(*circuit, sizing);
+  input_cm_ = tb.input_cm;
+  vinp_ = input_cm_;
+  vinm_ = input_cm_;
+  ctrlp_ = vdd_;  // start in dump: switches closed, reset on
+  ctrlm_ = vdd_;
+
+  bridge_ = std::make_unique<ams::SpiceBridge>(std::move(circuit), options);
+  bridge_->bind_input("vinp", &vinp_);
+  bridge_->bind_input("vinm", &vinm_);
+  // Control rails slew at 3.6 V/ns (~0.5 ns edges), matching an on-chip
+  // driver rather than an unphysical step.
+  bridge_->bind_input("vctrlp", &ctrlp_, 3.6);
+  bridge_->bind_input("vctrlm", &ctrlm_, 3.6);
+  // The fully differential cell inverts; reading (Out_intm - Out_intp)
+  // normalizes the output polarity to match the behavioral variants.
+  out_ = bridge_->bind_output("Out_intm", "Out_intp");
+}
+
+void SpiceIntegrator::set_mode(Mode mode) {
+  mode_ = mode;
+  switch (mode) {
+    case Mode::kDump:
+      ctrlp_ = vdd_;
+      ctrlm_ = vdd_;
+      break;
+    case Mode::kIntegrate:
+      ctrlp_ = vdd_;
+      ctrlm_ = 0.0;
+      break;
+    case Mode::kHold:
+      ctrlp_ = 0.0;
+      ctrlm_ = 0.0;
+      break;
+  }
+}
+
+void SpiceIntegrator::step(double t, double dt) {
+  const double u = *in_;
+  vinp_ = input_cm_ + 0.5 * u;
+  vinm_ = input_cm_ - 0.5 * u;
+  bridge_->step(t, dt);
+}
+
+}  // namespace uwbams::uwb

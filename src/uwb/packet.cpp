@@ -1,0 +1,17 @@
+#include "uwb/packet.hpp"
+
+#include <stdexcept>
+
+namespace uwbams::uwb {
+
+int Packet::slot_of_symbol(int k) const {
+  if (k < 0 || k >= total_symbols())
+    throw std::out_of_range("Packet::slot_of_symbol");
+  if (k < preamble_symbols) return 0;
+  if (k < preamble_symbols + sfd_symbols) return 1;
+  return payload[static_cast<std::size_t>(k - preamble_symbols - sfd_symbols)]
+             ? 1
+             : 0;
+}
+
+}  // namespace uwbams::uwb

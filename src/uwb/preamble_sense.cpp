@@ -1,0 +1,30 @@
+#include "uwb/preamble_sense.hpp"
+
+#include <algorithm>
+
+namespace uwbams::uwb {
+
+void NoiseEstimator::add(int code) {
+  stats_.add(static_cast<double>(code));
+  max_code_ = std::max(max_code_, code);
+}
+
+PreambleSense::PreambleSense(const NoiseEstimator& noise, double factor,
+                             int hits_needed)
+    : hits_needed_(hits_needed) {
+  threshold_ = noise.mean() + std::max(factor * noise.stddev(), 2.0);
+}
+
+bool PreambleSense::add(int code) {
+  if (detected_) return true;
+  const unsigned span = 2u * static_cast<unsigned>(hits_needed_);
+  history_ = (history_ << 1) | (static_cast<double>(code) > threshold_ ? 1u : 0u);
+  history_ &= (1u << span) - 1u;
+  int hits = 0;
+  for (unsigned i = 0; i < span; ++i)
+    if ((history_ >> i) & 1u) ++hits;
+  if (hits >= hits_needed_) detected_ = true;
+  return detected_;
+}
+
+}  // namespace uwbams::uwb

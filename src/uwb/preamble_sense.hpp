@@ -1,0 +1,54 @@
+// preamble_sense.hpp — the NE/PS block: noise estimation + preamble sense.
+//
+// Before synchronization the receiver samples the channel energy "from time
+// to time in order to evaluate whether a preamble is being transmitted"
+// (paper §2). NoiseEstimator accumulates energy codes of noise-only
+// windows; PreambleSense then flags windows whose energy exceeds the
+// estimated floor by a configurable factor, with a small hit-count
+// hysteresis against isolated noise spikes.
+#pragma once
+
+#include <cstddef>
+
+#include "base/stats.hpp"
+
+namespace uwbams::uwb {
+
+class NoiseEstimator {
+ public:
+  explicit NoiseEstimator(std::size_t windows_needed)
+      : needed_(windows_needed) {}
+
+  void add(int code);
+  bool done() const { return stats_.count() >= needed_; }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  int max_code() const { return max_code_; }
+
+ private:
+  std::size_t needed_;
+  base::RunningStats stats_;
+  int max_code_ = 0;
+};
+
+class PreambleSense {
+ public:
+  // Threshold: mean + max(factor * stddev, 2 LSB codes). The preamble is
+  // declared once `hits_needed` of the last 2*hits_needed windows exceed
+  // the threshold: preamble pulses sit in slot 0 only, so hits arrive in
+  // *alternating* windows and a consecutive-hit rule would never fire.
+  PreambleSense(const NoiseEstimator& noise, double factor, int hits_needed);
+
+  // Returns true once a preamble has been declared.
+  bool add(int code);
+  bool detected() const { return detected_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  int hits_needed_;
+  unsigned history_ = 0;  // bit i = window i windows ago was a hit
+  bool detected_ = false;
+};
+
+}  // namespace uwbams::uwb

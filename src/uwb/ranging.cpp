@@ -1,0 +1,144 @@
+#include "uwb/ranging.hpp"
+
+#include <cmath>
+
+#include "base/random.hpp"
+#include "base/units.hpp"
+#include "uwb/transceiver.hpp"
+
+namespace uwbams::uwb {
+
+double TwrResult::mean() const {
+  base::RunningStats st;
+  for (const auto& it : iterations)
+    if (it.ok) st.add(it.distance_estimate);
+  return st.mean();
+}
+
+double TwrResult::variance() const {
+  base::RunningStats st;
+  for (const auto& it : iterations)
+    if (it.ok) st.add(it.distance_estimate);
+  return st.variance();
+}
+
+double TwrResult::stddev() const { return std::sqrt(variance()); }
+
+TwoWayRanging::TwoWayRanging(const TwrConfig& cfg,
+                             IntegratorFactory make_integrator)
+    : cfg_(cfg), make_integrator_(std::move(make_integrator)) {}
+
+TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
+                                          std::uint64_t noise_seed) {
+  SystemConfig sys = cfg_.sys;
+  sys.seed = noise_seed;
+  TwrIteration result;
+
+  ams::Kernel kernel(sys.dt);
+
+  // Channels first (inputs wired after the nodes exist).
+  ChannelBlock chan_ab(sys, nullptr);
+  ChannelBlock chan_ba(sys, nullptr);
+  kernel.add_analog(chan_ab);
+  kernel.add_analog(chan_ba);
+
+  base::Rng chan_rng(channel_seed);
+  base::Rng rng(noise_seed);
+  const double pl_db = path_loss_db(sys.distance, sys.path_loss_db_1m,
+                                    sys.path_loss_exponent);
+  const double amp_scale = units::db_to_lin(-pl_db);
+  if (sys.multipath) {
+    chan_ab.set_realization(generate_cm1(chan_rng), amp_scale);
+    chan_ba.set_realization(generate_cm1(chan_rng), amp_scale);
+  } else {
+    chan_ab.set_awgn_only(amp_scale);
+    chan_ba.set_awgn_only(amp_scale);
+  }
+  chan_ab.set_noise_psd(cfg_.noise_psd);
+  chan_ba.set_noise_psd(cfg_.noise_psd);
+  chan_ab.reseed(noise_seed * 2 + 1);
+  chan_ba.reseed(noise_seed * 2 + 2);
+
+  Transceiver node_a(kernel, sys, chan_ba.out(), make_integrator_);
+  Transceiver node_b(kernel, sys, chan_ab.out(), make_integrator_);
+  chan_ab.set_input(node_a.tx_out());
+  chan_ba.set_input(node_b.tx_out());
+
+  Packet request;
+  request.preamble_symbols = sys.preamble_symbols;
+  request.payload = rng.bits(static_cast<std::size_t>(sys.payload_bits));
+  const double packet_duration = request.duration(sys.symbol_period);
+
+  // B listens from the start; its noise estimation must finish before the
+  // request arrives.
+  node_b.rx().start_acquire(kernel, 50e-9);
+  const double t_ne =
+      sys.noise_est_windows * sys.slot_period() + 0.3e-6;
+  const double t_request = t_ne + 0.1e-6;
+  node_a.send(request, t_request);
+
+  const double pt = cfg_.processing_time;
+  double toa_b = -1.0, toa_a = -1.0;
+
+  node_b.rx().on_sync([&](double toa) {
+    toa_b = toa;
+    // Reply so its first pulse leaves PT after the estimated request ToA.
+    Packet reply = request;
+    const double t_start =
+        toa + pt - node_b.tx().pulse_offset_in_slot();
+    node_b.send(reply, t_start);
+  });
+  node_a.rx().on_sync([&](double toa) { toa_a = toa; });
+
+  // A turns its receiver around once its own transmission is over
+  // (half-duplex antenna switch).
+  const double t_a_listen = t_request + packet_duration + 0.1e-6;
+  kernel.schedule_callback(t_a_listen, [&](double now) {
+    node_a.rx().start_acquire(kernel, now + 50e-9);
+  });
+
+  // Run long enough for the full exchange.
+  const double t_end =
+      t_request + pt + 2.0 * packet_duration + 3e-6;
+  kernel.run_until(t_end);
+
+  if (toa_a < 0.0 || toa_b < 0.0) return result;  // acquisition failed
+
+  // RTT from A's counter: fold by symbol periods (the counter supplies the
+  // whole-symbol count; fine ToA the remainder). Valid for RTT < Ts.
+  const double rtt =
+      node_a.fold_by_symbols(toa_a - node_a.last_tx_pulse_time() - pt);
+  result.distance_estimate = 0.5 * units::speed_of_light * rtt;
+
+  // Per-side bias diagnostics against the true arrival times.
+  const double prop = sys.distance / units::speed_of_light;
+  auto fold_centered = [&](double x) {
+    double r = node_a.fold_by_symbols(x);
+    if (r > 0.5 * sys.symbol_period) r -= sys.symbol_period;
+    return r;
+  };
+  result.toa_bias_b =
+      fold_centered(toa_b - (node_a.last_tx_pulse_time() + prop));
+  result.toa_bias_a =
+      fold_centered(toa_a - (node_b.last_tx_pulse_time() + prop));
+  result.ok = true;
+  return result;
+}
+
+TwrResult TwoWayRanging::run() {
+  TwrResult res;
+  for (int i = 0; i < cfg_.iterations; ++i) {
+    const std::uint64_t channel_seed =
+        cfg_.fresh_channel_per_iteration
+            ? cfg_.sys.seed + static_cast<std::uint64_t>(i) * 1000003ull
+            : cfg_.sys.seed;
+    const std::uint64_t noise_seed =
+        cfg_.sys.seed + 17 + static_cast<std::uint64_t>(i) * 7919ull;
+    TwrIteration it = run_iteration(channel_seed, noise_seed);
+    if (!it.ok) ++res.failures;
+    res.iterations.push_back(it);
+  }
+  return res;
+}
+
+}  // namespace uwbams::uwb

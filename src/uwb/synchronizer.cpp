@@ -1,0 +1,71 @@
+#include "uwb/synchronizer.hpp"
+
+#include <stdexcept>
+
+namespace uwbams::uwb {
+
+ItdController::ItdController(IntegrateAndDump& itd, const Adc& adc,
+                             double period, double reset_width, double t_int,
+                             SampleCallback callback)
+    : itd_(itd), adc_(adc), period_(period), reset_width_(reset_width),
+      t_int_(t_int), callback_(std::move(callback)) {
+  if (reset_width_ + t_int_ + adc_delay_ >= period_)
+    throw std::invalid_argument(
+        "ItdController: dump + integrate + ADC must fit in the period");
+}
+
+void ItdController::start(ams::Kernel& kernel, double first_window_start) {
+  ++epoch_;  // invalidate any in-flight cycle
+  window_start_ = first_window_start;
+  pending_start_ = -1.0;
+  schedule_phase(kernel, window_start_, 0);
+}
+
+void ItdController::schedule_phase(ams::Kernel& kernel, double t, int phase) {
+  const std::uint64_t epoch = epoch_;
+  kernel.schedule_callback(t, [this, &kernel, epoch, phase](double now) {
+    if (epoch != epoch_) return;  // stale event from a previous start()
+    run_phase(kernel, now, phase);
+  });
+}
+
+void ItdController::run_phase(ams::Kernel& kernel, double /*t*/, int phase) {
+  switch (phase) {
+    case 0:  // dump
+      itd_.set_mode(IntegrateAndDump::Mode::kDump);
+      schedule_phase(kernel, window_start_ + reset_width_, 1);
+      break;
+    case 1:  // integrate
+      itd_.set_mode(IntegrateAndDump::Mode::kIntegrate);
+      schedule_phase(kernel, window_start_ + reset_width_ + t_int_, 2);
+      break;
+    case 2:  // hold, then sample after the settle delay
+      itd_.set_mode(IntegrateAndDump::Mode::kHold);
+      schedule_phase(kernel,
+                     window_start_ + reset_width_ + t_int_ + adc_delay_, 3);
+      break;
+    case 3: {  // ADC sample; then decide the next window start
+      WindowSample s;
+      s.index = index_++;
+      s.window_start = window_start_;
+      s.analog = itd_.output();
+      s.code = adc_.quantize(s.analog);
+      if (callback_) callback_(s);
+
+      double next = window_start_ + period_;
+      if (pending_start_ >= 0.0) {
+        next = pending_start_;
+        pending_start_ = -1.0;
+      }
+      const double now = kernel.time();
+      if (next < now + 1e-12) next = now + 1e-12;
+      window_start_ = next;
+      schedule_phase(kernel, window_start_, 0);
+      break;
+    }
+    default:
+      throw std::logic_error("ItdController: bad phase");
+  }
+}
+
+}  // namespace uwbams::uwb

@@ -1,0 +1,28 @@
+#include "uwb/transceiver.hpp"
+
+#include <cmath>
+
+namespace uwbams::uwb {
+
+Transceiver::Transceiver(ams::Kernel& kernel, const SystemConfig& cfg,
+                         const double* rf_input,
+                         const IntegratorFactory& make_integrator)
+    : cfg_(cfg) {
+  tx_ = std::make_unique<Transmitter>(cfg);
+  kernel.add_analog(*tx_);
+  rx_ = std::make_unique<Receiver>(kernel, cfg, rf_input, make_integrator);
+}
+
+void Transceiver::send(const Packet& packet, double t_start) {
+  tx_->send(packet, t_start);
+  t_tx_pulse_ = tx_->first_pulse_time();
+}
+
+double Transceiver::fold_by_symbols(double interval) const {
+  const double ts = cfg_.symbol_period;
+  double r = std::fmod(interval, ts);
+  if (r < 0.0) r += ts;
+  return r;
+}
+
+}  // namespace uwbams::uwb

@@ -1,0 +1,54 @@
+// transceiver.hpp — a full UWB node: transmitter + receiver + TWR counter.
+//
+// Mirrors the SoC of Fig. 1 at the node level. The antenna switch is
+// implicit: the receiver's acquisition is started only while the node is
+// not transmitting (half-duplex), and the node does not hear its own
+// transmitter (separate channel blocks carry each direction).
+//
+// The Counter block of Fig. 1 is the ranging timestamp machinery: it
+// records when the node's first preamble pulse left the antenna and folds
+// round-trip intervals by whole symbol periods (the counter counts symbol
+// ticks; the fine ToA supplies the fraction).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ams/kernel.hpp"
+#include "uwb/config.hpp"
+#include "uwb/receiver.hpp"
+#include "uwb/transmitter.hpp"
+
+namespace uwbams::uwb {
+
+class Transceiver {
+ public:
+  // `rf_input` is the output of the channel block feeding this node's
+  // receiver. The transmitter output must be wired by the caller into the
+  // outgoing channel block. Registration order: construct the transmitter
+  // side first (caller registers channels), then this object registers the
+  // receive chain.
+  Transceiver(ams::Kernel& kernel, const SystemConfig& cfg,
+              const double* rf_input, const IntegratorFactory& make_integrator);
+
+  Transmitter& tx() { return *tx_; }
+  Receiver& rx() { return *rx_; }
+  const double* tx_out() const { return tx_->out(); }
+
+  // Sends a packet and records the counter timestamp of its first pulse.
+  void send(const Packet& packet, double t_start);
+  double last_tx_pulse_time() const { return t_tx_pulse_; }
+
+  // Counter arithmetic: folds an estimated round-trip interval into
+  // [0, Ts) — the counter tracks whole symbol periods, the fine ToA the
+  // remainder.
+  double fold_by_symbols(double interval) const;
+
+ private:
+  SystemConfig cfg_;
+  std::unique_ptr<Transmitter> tx_;
+  std::unique_ptr<Receiver> rx_;
+  double t_tx_pulse_ = -1.0;
+};
+
+}  // namespace uwbams::uwb

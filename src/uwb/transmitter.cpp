@@ -1,0 +1,53 @@
+#include "uwb/transmitter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uwbams::uwb {
+
+Transmitter::Transmitter(const SystemConfig& cfg)
+    : cfg_(cfg), pulse_(2, cfg.pulse_sigma, cfg.pulse_amplitude),
+      // Center the first pulse early in the slot, leaving room for the
+      // burst and the multipath tail inside the integration window.
+      pulse_offset_(std::max(3.5 * cfg.pulse_sigma, 2e-9)) {}
+
+void Transmitter::send(const Packet& packet, double t_start) {
+  packet_ = packet;
+  t_start_ = t_start;
+}
+
+bool Transmitter::busy(double t) const {
+  return packet_.has_value() &&
+         t < t_start_ + packet_->duration(cfg_.symbol_period);
+}
+
+double Transmitter::first_pulse_time() const {
+  if (!packet_.has_value())
+    throw std::logic_error("Transmitter::first_pulse_time: nothing queued");
+  return t_start_ + pulse_offset_;  // preamble symbol 0, slot 0
+}
+
+void Transmitter::step(double t, double /*dt*/) {
+  out_ = 0.0;
+  if (!packet_.has_value()) return;
+  const double rel = t - t_start_;
+  if (rel < 0.0) return;
+  const int sym = static_cast<int>(rel / cfg_.symbol_period);
+  if (sym >= packet_->total_symbols()) return;
+  const int slot = packet_->slot_of_symbol(sym);
+  const double slot_start =
+      sym * cfg_.symbol_period + slot * cfg_.slot_period();
+  // Burst of pulses_per_symbol monocycles at pulse_spacing. Alternating
+  // polarity (a fixed scrambling sequence) keeps neighbouring pulse tails
+  // from interfering coherently; the energy detector is polarity-blind.
+  const double first_center = slot_start + pulse_offset_;
+  double acc = 0.0;
+  for (int j = 0; j < cfg_.pulses_per_symbol; ++j) {
+    const double t_rel = rel - (first_center + j * cfg_.pulse_spacing);
+    if (std::abs(t_rel) <= pulse_.half_duration())
+      acc += ((j & 1) != 0 ? -1.0 : 1.0) * pulse_.value(t_rel);
+  }
+  out_ = acc;
+}
+
+}  // namespace uwbams::uwb

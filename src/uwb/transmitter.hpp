@@ -1,0 +1,43 @@
+// transmitter.hpp — pulse generator + 2-PPM modulator.
+//
+// Produces the antenna voltage sample by sample: one monocycle per symbol,
+// placed in the slot selected by the payload bit (preamble pulses always in
+// slot 0). The pulse is centered inside its slot at a fixed offset so the
+// whole waveform fits the receiver's integration window.
+#pragma once
+
+#include <optional>
+
+#include "ams/kernel.hpp"
+#include "uwb/config.hpp"
+#include "uwb/packet.hpp"
+#include "uwb/pulse.hpp"
+
+namespace uwbams::uwb {
+
+class Transmitter : public ams::AnalogBlock {
+ public:
+  explicit Transmitter(const SystemConfig& cfg);
+
+  // Queues a packet whose first symbol starts at absolute time t_start.
+  void send(const Packet& packet, double t_start);
+  bool busy(double t) const;
+  // Time of the first pulse center of the queued packet (for ranging
+  // bookkeeping). Only valid after send().
+  double first_pulse_time() const;
+  // Offset of the pulse center within its slot.
+  double pulse_offset_in_slot() const { return pulse_offset_; }
+
+  void step(double t, double dt) override;
+  const double* out() const { return &out_; }
+
+ private:
+  SystemConfig cfg_;
+  GaussianMonocycle pulse_;
+  double pulse_offset_;  // pulse center relative to slot start
+  std::optional<Packet> packet_;
+  double t_start_ = 0.0;
+  double out_ = 0.0;
+};
+
+}  // namespace uwbams::uwb

@@ -1,0 +1,205 @@
+// Tests for base utilities: random distributions, statistics, tables, traces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/random.hpp"
+#include "base/stats.hpp"
+#include "base/table.hpp"
+#include "base/trace.hpp"
+#include "base/units.hpp"
+
+namespace {
+
+using namespace uwbams;
+using base::Rng;
+
+TEST(Units, DbConversionsRoundTrip) {
+  EXPECT_NEAR(units::db_to_lin(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(units::lin_to_db(100.0), 40.0, 1e-12);
+  EXPECT_NEAR(units::db_to_pow(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(units::pow_to_db(1000.0), 30.0, 1e-12);
+  for (double db : {-17.0, -3.0, 0.0, 6.0, 21.0}) {
+    EXPECT_NEAR(units::lin_to_db(units::db_to_lin(db)), db, 1e-9);
+    EXPECT_NEAR(units::pow_to_db(units::db_to_pow(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, ThermalVoltage) {
+  EXPECT_NEAR(units::thermal_voltage(27.0), 0.02585, 2e-4);
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  base::RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.gaussian(3.0, 2.0));
+  EXPECT_NEAR(st.mean(), 3.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  base::RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.exponential(4.0));
+  EXPECT_NEAR(st.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, NakagamiSecondMoment) {
+  // E[x^2] must equal omega for any m.
+  Rng rng(13);
+  for (double m : {0.7, 1.0, 3.0}) {
+    base::RunningStats st;
+    for (int i = 0; i < 100000; ++i) {
+      const double x = rng.nakagami(m, 2.5);
+      st.add(x * x);
+    }
+    EXPECT_NEAR(st.mean(), 2.5, 0.08) << "m=" << m;
+  }
+}
+
+TEST(Rng, NakagamiM1IsRayleigh) {
+  // m=1 Nakagami amplitude = Rayleigh: var(x^2) = omega^2.
+  Rng rng(17);
+  base::RunningStats st;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.nakagami(1.0, 1.0);
+    st.add(x * x);
+  }
+  EXPECT_NEAR(st.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, LognormalDbMedian) {
+  Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal_db(0.0, 3.0));
+  EXPECT_NEAR(base::percentile_of(xs, 50.0), 1.0, 0.05);
+}
+
+TEST(Rng, PoissonArrivalRate) {
+  Rng rng(23);
+  double t = 0.0;
+  int count = 0;
+  while (t < 1000.0) {
+    t = rng.poisson_arrival_after(t, 5.0);
+    ++count;
+  }
+  EXPECT_NEAR(count / 1000.0, 5.0, 0.3);
+}
+
+TEST(RunningStats, AgainstClosedForm) {
+  base::RunningStats st;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), 5u);
+  EXPECT_DOUBLE_EQ(st.mean(), 4.0);
+  EXPECT_NEAR(st.variance(), 12.5, 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 10.0);
+}
+
+TEST(RunningStats, MatchesBatchHelpers) {
+  Rng rng(3);
+  std::vector<double> xs;
+  base::RunningStats st;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(rng.uniform(-5, 5));
+    st.add(xs.back());
+  }
+  EXPECT_NEAR(st.mean(), base::mean_of(xs), 1e-9);
+  EXPECT_NEAR(st.variance(), base::variance_of(xs), 1e-9);
+}
+
+TEST(BerCounter, CountsAndInterval) {
+  base::BerCounter c;
+  for (int i = 0; i < 1000; ++i) c.add(i % 100 == 0);
+  EXPECT_EQ(c.bits(), 1000u);
+  EXPECT_EQ(c.errors(), 10u);
+  EXPECT_DOUBLE_EQ(c.ber(), 0.01);
+  EXPECT_GT(c.half_width_95(), 0.0);
+  EXPECT_LT(c.half_width_95(), 0.02);
+  EXPECT_TRUE(c.converged(10));
+  EXPECT_FALSE(c.converged(11));
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(base::percentile_of(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(base::percentile_of(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(base::percentile_of(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(base::percentile_of(xs, 25), 2.0);
+}
+
+TEST(Stats, LineFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 - 0.25 * i);
+  }
+  const auto f = base::fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 3.5, 1e-9);
+  EXPECT_NEAR(f.slope, -0.25, 1e-9);
+}
+
+TEST(Table, RendersAllCells) {
+  base::Table t("Table X. demo");
+  t.set_header({"model", "value"});
+  t.add_row({"IDEAL", base::Table::num(1.5, 2)});
+  t.add_row({"ELDO", base::Table::num(2.25, 2)});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Table X. demo"), std::string::npos);
+  EXPECT_NE(s.find("IDEAL"), std::string::npos);
+  EXPECT_NE(s.find("2.25"), std::string::npos);
+}
+
+TEST(Series, StoresColumnsAndPlots) {
+  base::Series s("fig", "x");
+  s.add_column("a");
+  s.add_column("b");
+  for (int i = 1; i <= 10; ++i)
+    s.add_row(i, {static_cast<double>(i), 1.0 / i});
+  EXPECT_EQ(s.rows(), 10u);
+  EXPECT_THROW(s.add_row(11, {1.0}), std::invalid_argument);
+  EXPECT_FALSE(s.ascii_plot(40, 10, true).empty());
+  EXPECT_NE(s.render().find("fig"), std::string::npos);
+}
+
+TEST(Trace, RecordInterpolateCross) {
+  base::Trace tr("v");
+  for (int i = 0; i <= 100; ++i) tr.record(i * 0.1, i * 0.01);  // ramp 0..1
+  EXPECT_EQ(tr.size(), 101u);
+  EXPECT_NEAR(tr.at(5.05), 0.505, 1e-12);
+  EXPECT_NEAR(tr.first_crossing(0.5), 5.0, 0.11);
+  EXPECT_DOUBLE_EQ(tr.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(tr.min_value(), 0.0);
+}
+
+TEST(Trace, Decimation) {
+  base::Trace tr("v", 10);
+  for (int i = 0; i < 100; ++i) tr.record(i, i);
+  EXPECT_EQ(tr.size(), 10u);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  base::Trace tr("sig");
+  tr.record(0.0, 1.0);
+  tr.record(1.0, 2.0);
+  const std::string csv = tr.to_csv();
+  EXPECT_NE(csv.find("t,sig"), std::string::npos);
+  EXPECT_NE(csv.find("\n"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests for the dense matrix and LU solver used by the MNA engine.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+#include "base/random.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace uwbams;
+using linalg::ComplexMatrix;
+using linalg::LuFactor;
+using linalg::RealMatrix;
+
+TEST(Matrix, BasicOps) {
+  RealMatrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  const auto y = m.multiply({1.0, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+}
+
+TEST(Matrix, Identity) {
+  const auto id = RealMatrix::identity(4);
+  const std::vector<double> x{1, 2, 3, 4};
+  EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(Lu, Solves2x2) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = linalg::solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = linalg::solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactor<double>{a}, std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  RealMatrix a(2, 3);
+  EXPECT_THROW(LuFactor<double>{a}, std::invalid_argument);
+}
+
+TEST(Lu, ReusableFactorMultipleRhs) {
+  RealMatrix a(3, 3);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  a(1, 2) = 1;
+  a(2, 1) = 1;
+  a(2, 2) = 2;
+  LuFactor<double> lu(a);
+  for (const auto& b :
+       {std::vector<double>{1, 0, 0}, std::vector<double>{0, 1, 0}}) {
+    const auto x = lu.solve(b);
+    const auto back = a.multiply(x);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], b[i], 1e-12);
+  }
+}
+
+TEST(Lu, ComplexSolve) {
+  using cd = std::complex<double>;
+  ComplexMatrix a(2, 2);
+  a(0, 0) = cd{1, 1};
+  a(0, 1) = cd{0, 0};
+  a(1, 0) = cd{0, 0};
+  a(1, 1) = cd{0, 2};
+  const auto x = linalg::solve(a, std::vector<cd>{cd{2, 0}, cd{0, 4}});
+  EXPECT_NEAR(std::abs(x[0] - cd{1, -1}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - cd{2, 0}), 0.0, 1e-12);
+}
+
+// Property sweep: random diagonally-dominant systems of growing size must
+// solve to machine-level residual.
+class LuRandomSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSystem, ResidualIsTiny) {
+  const int n = GetParam();
+  base::Rng rng(1000 + static_cast<std::uint64_t>(n));
+  RealMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (r == c) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+      row_sum += std::abs(v);
+    }
+    a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) =
+        row_sum + 1.0;  // diagonal dominance
+  }
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-10.0, 10.0);
+  const auto b = a.multiply(x_true);
+  const auto x = linalg::solve(a, b);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)],
+                1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystem,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Complex property sweep mirroring the AC solve path.
+class LuRandomComplex : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomComplex, ResidualIsTiny) {
+  using cd = std::complex<double>;
+  const int n = GetParam();
+  base::Rng rng(2000 + static_cast<std::uint64_t>(n));
+  ComplexMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (r == c) continue;
+      const cd v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+      row_sum += std::abs(v);
+    }
+    a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) =
+        cd{row_sum + 1.0, rng.uniform(-1, 1)};
+  }
+  std::vector<cd> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = cd{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+  const auto b = a.multiply(x_true);
+  const auto x = linalg::solve(a, b);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(x[static_cast<std::size_t>(i)] -
+                         x_true[static_cast<std::size_t>(i)]),
+                0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomComplex,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Cross-module property tests: frequency-domain behaviour of the
+// behavioral ODE states probed with time-domain sinusoids, quantizer
+// round trips, channel invariants, counter arithmetic, and waveform
+// sampling invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ams/ode.hpp"
+#include "base/random.hpp"
+#include "base/units.hpp"
+#include "uwb/adc.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/pulse.hpp"
+#include "uwb/transceiver.hpp"
+
+namespace {
+
+using namespace uwbams;
+
+// Measures |H(f)| of a discrete-time state by driving a sine and taking
+// the steady-state amplitude ratio.
+template <typename State>
+double probe_gain(State& s, double freq, double dt, double tau_slowest) {
+  const double w = 2 * units::pi * freq;
+  // Settle past both the drive periodicity and the slowest natural mode,
+  // then measure the final quarter of the run.
+  const double t_total = std::max(8.0 / freq, 8.0 * tau_slowest);
+  const int n = static_cast<int>(t_total / dt);
+  double peak = 0.0;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double y = s.step(std::sin(w * t), dt);
+    t += dt;
+    if (i > 3 * n / 4) peak = std::max(peak, std::abs(y));
+  }
+  return peak;
+}
+
+class OnePoleFrequency : public ::testing::TestWithParam<double> {};
+
+TEST_P(OnePoleFrequency, MagnitudeMatchesTransferFunction) {
+  const double f = GetParam();
+  const double f0 = 5e6;
+  ams::OnePoleState s(2.0, 2 * units::pi * f0);
+  const double dt = 1.0 / (f * 400.0);  // 400 samples per period
+  const double measured = probe_gain(s, f, dt, 1.0 / (2 * units::pi * f0));
+  const double expect = 2.0 / std::sqrt(1.0 + (f / f0) * (f / f0));
+  EXPECT_NEAR(measured, expect, 0.05 * expect) << "f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Decades, OnePoleFrequency,
+                         ::testing::Values(5e5, 2e6, 5e6, 2e7, 5e7));
+
+class TwoPoleFrequency : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoPoleFrequency, MagnitudeMatchesCascade) {
+  const double f = GetParam();
+  // The paper's Phase-IV parameters.
+  const double k = units::db_to_lin(21.0), f1 = 0.886e6, f2 = 5.895e9;
+  ams::TwoPoleState s(k, 2 * units::pi * f1, 2 * units::pi * f2);
+  const double dt = 1.0 / (f * 500.0);
+  const double measured = probe_gain(s, f, dt, 1.0 / (2 * units::pi * f1));
+  const double expect = k / std::sqrt((1 + std::pow(f / f1, 2)) *
+                                      (1 + std::pow(f / f2, 2)));
+  EXPECT_NEAR(measured, expect, 0.08 * expect) << "f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, TwoPoleFrequency,
+                         ::testing::Values(1e5, 1e6, 1e7, 1e8));
+
+TEST(TwoPoleState, IntegratorBandSlope) {
+  // Between the poles the response must fall ~20 dB per decade — the
+  // "approximates an ideal integrator" band of Fig. 4.
+  const double k = units::db_to_lin(21.0), f1 = 0.886e6, f2 = 5.895e9;
+  ams::TwoPoleState a(k, 2 * units::pi * f1, 2 * units::pi * f2);
+  ams::TwoPoleState b(k, 2 * units::pi * f1, 2 * units::pi * f2);
+  const double tau1 = 1.0 / (2 * units::pi * f1);
+  const double g10m = probe_gain(a, 10e6, 0.2e-9, tau1);
+  const double g100m = probe_gain(b, 100e6, 0.02e-9, tau1);
+  EXPECT_NEAR(units::lin_to_db(g10m / g100m), 20.0, 1.5);
+}
+
+TEST(AdcDac, RoundTripWithinLsb) {
+  base::Rng rng(4);
+  const uwb::Adc adc(6, 0.0, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.0, 0.5);
+    EXPECT_NEAR(adc.code_to_voltage(adc.quantize(v)), v, 0.5 * adc.lsb() + 1e-12);
+  }
+  const uwb::Dac dac(6, 0.0, 40.0);
+  for (int code = 0; code <= dac.max_code(); ++code)
+    EXPECT_EQ(dac.nearest_code(dac.value(code)), code);
+}
+
+TEST(Channel, RealizationDeterministicPerSeed) {
+  base::Rng a(123), b(123);
+  const auto ra = uwb::generate_cm1(a);
+  const auto rb = uwb::generate_cm1(b);
+  ASSERT_EQ(ra.taps.size(), rb.taps.size());
+  for (std::size_t i = 0; i < ra.taps.size(); ++i) {
+    EXPECT_EQ(ra.taps[i].delay, rb.taps[i].delay);
+    EXPECT_EQ(ra.taps[i].gain, rb.taps[i].gain);
+  }
+}
+
+TEST(Channel, FirstPathIsStrongLos) {
+  // With the 4a LOS first-path m-factor, the first tap should carry a
+  // non-negligible share of the energy in most realizations.
+  base::Rng rng(31);
+  int strong = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const auto cr = uwb::generate_cm1(rng);
+    const double p0 = cr.taps.front().gain * cr.taps.front().gain;
+    if (p0 > 0.02) ++strong;  // > 2 % of total (unit) energy
+  }
+  EXPECT_GT(strong, n / 2);
+}
+
+TEST(Channel, ExcessDelayTruncated) {
+  base::Rng rng(37);
+  uwb::SalehValenzuelaParams p;
+  p.max_excess_delay = 60e-9;
+  for (int i = 0; i < 40; ++i) {
+    const auto cr = uwb::generate_cm1(rng, p);
+    EXPECT_LE(cr.taps.back().delay, 60e-9 + 1e-12);
+  }
+}
+
+TEST(Transceiver, FoldBySymbols) {
+  uwb::SystemConfig sys;  // Ts = 128 ns
+  ams::Kernel kernel(sys.dt);
+  uwb::ChannelBlock chan(sys, nullptr);
+  const auto factory = [&](const double* in) {
+    return std::make_unique<uwb::IdealIntegrator>(in, sys.integrator_k);
+  };
+  uwb::Transceiver node(kernel, sys, chan.out(), factory);
+  EXPECT_NEAR(node.fold_by_symbols(66e-9), 66e-9, 1e-15);
+  EXPECT_NEAR(node.fold_by_symbols(128e-9 + 66e-9), 66e-9, 1e-15);
+  // 5*Ts folds to a representative congruent to 0 (floating-point fmod may
+  // return either end of the interval).
+  const double r5 = node.fold_by_symbols(5 * 128e-9);
+  EXPECT_LT(std::min(r5, 128e-9 - r5), 1e-12);
+  EXPECT_NEAR(node.fold_by_symbols(-10e-9), 118e-9, 1e-15);
+}
+
+TEST(Pulse, SampledCoversWholeSupport) {
+  const uwb::GaussianMonocycle p(2, 0.7e-9, 1.0);
+  const double dt = 0.1e-9;
+  const auto s = p.sampled(dt);
+  // 2 * half_duration / dt samples (+/- rounding).
+  EXPECT_NEAR(static_cast<double>(s.size()), 2 * p.half_duration() / dt, 2.0);
+  // Ends are negligible; the peak appears in the middle.
+  EXPECT_LT(std::abs(s.front()), 5e-4);
+  EXPECT_LT(std::abs(s.back()), 5e-4);
+  double peak = 0.0;
+  for (double v : s) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 1.0, 1e-3);
+}
+
+TEST(Pulse, EnergyScalesQuadratically) {
+  const uwb::GaussianMonocycle a(2, 0.7e-9, 0.5);
+  const uwb::GaussianMonocycle b(2, 0.7e-9, 1.0);
+  EXPECT_NEAR(b.energy() / a.energy(), 4.0, 1e-9);
+}
+
+// Path-loss + unit-energy CIR: received energy through the sampled channel
+// equals (amplitude scale)^2 within tap-quantization error.
+TEST(Channel, EnergyConservationThroughBlock) {
+  uwb::SystemConfig sys;
+  sys.dt = 0.1e-9;
+  sys.distance = 1.0;
+  double input = 0.0;
+  uwb::ChannelBlock chan(sys, &input);
+  base::Rng rng(91);
+  const auto cr = uwb::generate_cm1(rng);
+  chan.set_realization(cr, 0.25);
+  chan.set_noise_psd(0.0);
+
+  // Drive a single unit impulse; collect output energy.
+  input = 1.0;
+  chan.step(0.0, sys.dt);
+  input = 0.0;
+  double e_out = *chan.out() * *chan.out();
+  for (int i = 1; i < 4000; ++i) {
+    chan.step(i * sys.dt, sys.dt);
+    e_out += *chan.out() * *chan.out();
+  }
+  // Impulse energy in = 1 (unit sample); channel scales by 0.25^2 and taps
+  // have unit total energy. Taps merging onto the same sample grid slot can
+  // interfere, so allow a loose band.
+  EXPECT_GT(e_out, 0.25 * 0.25 * 0.5);
+  EXPECT_LT(e_out, 0.25 * 0.25 * 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Integration tests of the two-way ranging engine (Table 2 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block_variant.hpp"
+#include "uwb/ranging.hpp"
+
+namespace {
+
+using namespace uwbams;
+
+uwb::TwrConfig fast_cfg() {
+  uwb::TwrConfig cfg;
+  cfg.sys.dt = 0.2e-9;
+  return cfg;
+}
+
+TEST(Twr, SingleExchangeIdealIntegrator) {
+  auto cfg = fast_cfg();
+  uwb::TwoWayRanging twr(
+      cfg, core::make_integrator_factory(core::IntegratorKind::kIdeal,
+                                         cfg.sys));
+  const auto it = twr.run_iteration(/*channel_seed=*/1, /*noise_seed=*/18);
+  ASSERT_TRUE(it.ok);
+  EXPECT_NEAR(it.distance_estimate, 9.9, 1.5);
+  EXPECT_LT(std::abs(it.toa_bias_a), 8e-9);
+  EXPECT_LT(std::abs(it.toa_bias_b), 8e-9);
+}
+
+TEST(Twr, ReproducibleWithSameSeeds) {
+  auto cfg = fast_cfg();
+  uwb::TwoWayRanging twr(
+      cfg, core::make_integrator_factory(core::IntegratorKind::kIdeal,
+                                         cfg.sys));
+  const auto a = twr.run_iteration(3, 5);
+  const auto b = twr.run_iteration(3, 5);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_DOUBLE_EQ(a.distance_estimate, b.distance_estimate);
+}
+
+TEST(Twr, FixedChannelStatsAreTight) {
+  // Paper mode: one CM1 realization, noise re-drawn -> small spread.
+  auto cfg = fast_cfg();
+  cfg.iterations = 4;
+  uwb::TwoWayRanging twr(
+      cfg, core::make_integrator_factory(core::IntegratorKind::kIdeal,
+                                         cfg.sys));
+  const auto res = twr.run();
+  EXPECT_EQ(res.failures, 0);
+  EXPECT_NEAR(res.mean(), 9.9, 1.2);
+  EXPECT_LT(res.stddev(), 0.5);
+}
+
+TEST(Twr, DistanceScalesWithTruth) {
+  auto cfg = fast_cfg();
+  const auto fact =
+      core::make_integrator_factory(core::IntegratorKind::kIdeal, cfg.sys);
+  cfg.sys.distance = 6.0;
+  uwb::TwoWayRanging twr6(cfg, fact);
+  const auto d6 = twr6.run_iteration(2, 31);
+  cfg.sys.distance = 12.0;
+  uwb::TwoWayRanging twr12(cfg, fact);
+  const auto d12 = twr12.run_iteration(2, 31);
+  ASSERT_TRUE(d6.ok);
+  ASSERT_TRUE(d12.ok);
+  EXPECT_NEAR(d12.distance_estimate - d6.distance_estimate, 6.0, 1.5);
+}
+
+TEST(TwrResult, StatsHelpers) {
+  uwb::TwrResult r;
+  for (double d : {10.0, 10.2, 9.8}) {
+    uwb::TwrIteration it;
+    it.ok = true;
+    it.distance_estimate = d;
+    r.iterations.push_back(it);
+  }
+  uwb::TwrIteration bad;  // failures excluded from the statistics
+  r.iterations.push_back(bad);
+  r.failures = 1;
+  EXPECT_NEAR(r.mean(), 10.0, 1e-12);
+  EXPECT_NEAR(r.variance(), 0.04, 1e-12);
+  EXPECT_NEAR(r.stddev(), 0.2, 1e-12);
+}
+
+}  // namespace

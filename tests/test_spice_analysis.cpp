@@ -1,0 +1,234 @@
+// Analysis-level tests: transient against analytic RC/RLC solutions, AC
+// against closed-form transfer functions, fallback robustness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/units.hpp"
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/op.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace uwbams;
+using namespace uwbams::spice;
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  // 1 kOhm / 1 nF low-pass driven by a step at t=0 (via PULSE).
+  Circuit c;
+  const NodeId in = c.node("in"), out = c.node("out");
+  c.add<VoltageSource>("V1", in, c.ground(),
+                       Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, c.ground(), 1e-9);
+  TransientOptions opts;
+  opts.dt = 10e-9;  // tau/100
+  TransientSession sim(c, opts);
+  const double tau = 1e-6;
+  for (int i = 0; i < 300; ++i) {
+    sim.step();
+    const double expect = 1.0 - std::exp(-sim.time() / tau);
+    EXPECT_NEAR(sim.v(out), expect, 5e-3) << "t=" << sim.time();
+  }
+}
+
+TEST(Transient, RcMatchesForSweptTimeConstants) {
+  // Property: normalized step response is invariant across RC values.
+  for (const double r : {100.0, 10e3}) {
+    for (const double cap : {10e-12, 1e-9}) {
+      Circuit c;
+      const NodeId in = c.node("in"), out = c.node("out");
+      c.add<VoltageSource>("V1", in, c.ground(),
+                           Waveform::pulse(0.0, 1.0, 0.0, 1e-15, 1e-15, 1.0, 2.0));
+      c.add<Resistor>("R1", in, out, r);
+      c.add<Capacitor>("C1", out, c.ground(), cap);
+      const double tau = r * cap;
+      TransientOptions opts;
+      opts.dt = tau / 50.0;
+      TransientSession sim(c, opts);
+      sim.run_until(tau);
+      EXPECT_NEAR(sim.v(out), 1.0 - std::exp(-1.0), 0.01)
+          << "R=" << r << " C=" << cap;
+    }
+  }
+}
+
+TEST(Transient, SeriesRlcRingingFrequency) {
+  // Underdamped series RLC: check the ringing period of the cap voltage.
+  Circuit c;
+  const NodeId in = c.node("in"), mid = c.node("mid"), out = c.node("out");
+  c.add<VoltageSource>("V1", in, c.ground(),
+                       Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+  c.add<Resistor>("R1", in, mid, 10.0);
+  c.add<Inductor>("L1", mid, out, 1e-6);
+  c.add<Capacitor>("C1", out, c.ground(), 1e-9);
+  // f0 = 1/(2*pi*sqrt(LC)) = 5.03 MHz.
+  TransientOptions opts;
+  opts.dt = 1e-9;
+  TransientSession sim(c, opts);
+  // Find the first two maxima crossing points via 1.0-level crossings.
+  double first_cross = -1.0, second_cross = -1.0;
+  double prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.step();
+    const double v = sim.v(out);
+    if (prev < 1.0 && v >= 1.0) {
+      if (first_cross < 0)
+        first_cross = sim.time();
+      else if (second_cross < 0)
+        second_cross = sim.time();
+    }
+    prev = v;
+  }
+  ASSERT_GT(first_cross, 0.0);
+  ASSERT_GT(second_cross, 0.0);
+  const double period = second_cross - first_cross;
+  const double f0 = 1.0 / (2 * units::pi * std::sqrt(1e-6 * 1e-9));
+  EXPECT_NEAR(period, 1.0 / f0, 0.1 / f0);
+}
+
+TEST(Transient, EnergyConservationLcTank) {
+  // Lossless LC tank started from a charged cap: total energy must be
+  // conserved by the trapezoidal method to good accuracy.
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add<Inductor>("L1", n, c.ground(), 1e-6);
+  c.add<Capacitor>("C1", n, c.ground(), 1e-9);
+  // Kick the tank with a short current pulse.
+  c.add<CurrentSource>("I1", c.ground(), n,
+                       Waveform::pulse(0.0, 1e-3, 0.0, 1e-9, 1e-9, 50e-9, 1.0));
+  TransientOptions opts;
+  opts.dt = 2e-9;
+  TransientSession sim(c, opts);
+  sim.run_until(100e-9);  // pulse over; tank now rings freely
+  double vmax1 = 0.0;
+  sim.run_until(1.1e-6);
+  for (int i = 0; i < 400; ++i) {
+    sim.step();
+    vmax1 = std::max(vmax1, std::abs(sim.v(n)));
+  }
+  double vmax2 = 0.0;
+  sim.run_until(5e-6);
+  for (int i = 0; i < 400; ++i) {
+    sim.step();
+    vmax2 = std::max(vmax2, std::abs(sim.v(n)));
+  }
+  EXPECT_GT(vmax1, 0.0);
+  EXPECT_NEAR(vmax2 / vmax1, 1.0, 0.02);  // <2% amplitude drift
+}
+
+TEST(Transient, SineSourceTracks) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  c.add<VoltageSource>("V1", in, c.ground(), Waveform::sine(0.0, 1.0, 10e6));
+  c.add<Resistor>("R1", in, c.ground(), 1e3);
+  TransientOptions opts;
+  opts.dt = 1e-9;
+  TransientSession sim(c, opts);
+  for (int i = 0; i < 200; ++i) {
+    sim.step();
+    EXPECT_NEAR(sim.v(in), std::sin(2 * units::pi * 10e6 * sim.time()), 1e-6);
+  }
+}
+
+TEST(Ac, RcLowPassMagnitudeAndPhase) {
+  Circuit c;
+  const NodeId in = c.node("in"), out = c.node("out");
+  c.add<VoltageSource>("V1", in, c.ground(), Waveform::dc(0.0), 1.0);
+  c.add<Resistor>("R1", in, out, 1e3);
+  c.add<Capacitor>("C1", out, c.ground(), 1e-9);
+  const auto op = solve_op(c);
+  ASSERT_TRUE(op.converged);
+  const double fc = 1.0 / (2 * units::pi * 1e3 * 1e-9);  // 159 kHz
+  const auto sweep = run_ac(c, op.x, std::vector<double>{fc}, out);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_NEAR(sweep.mag_db(0), -3.0103, 0.01);
+  EXPECT_NEAR(sweep.phase_deg(0), -45.0, 0.1);
+}
+
+TEST(Ac, RcHighPassShape) {
+  Circuit c;
+  const NodeId in = c.node("in"), out = c.node("out");
+  c.add<VoltageSource>("V1", in, c.ground(), Waveform::dc(0.0), 1.0);
+  c.add<Capacitor>("C1", in, out, 1e-9);
+  c.add<Resistor>("R1", out, c.ground(), 1e3);
+  const auto op = solve_op(c);
+  ASSERT_TRUE(op.converged);
+  const auto freqs = log_frequency_grid(1e3, 100e6, 2);
+  const auto sweep = run_ac(c, op.x, freqs, out);
+  // Rising 20 dB/dec below fc, flat above.
+  EXPECT_LT(sweep.mag_db(0), -40.0);
+  EXPECT_NEAR(sweep.mag_db(sweep.points.size() - 1), 0.0, 0.1);
+}
+
+TEST(Ac, GridIsLogSpaced) {
+  const auto freqs = log_frequency_grid(1e3, 1e6, 10);
+  ASSERT_EQ(freqs.size(), 31u);
+  EXPECT_NEAR(freqs.front(), 1e3, 1e-6);
+  EXPECT_NEAR(freqs.back(), 1e6, 1.0);
+  for (std::size_t i = 1; i < freqs.size(); ++i)
+    EXPECT_NEAR(freqs[i] / freqs[i - 1], std::pow(10.0, 0.1), 1e-9);
+}
+
+TEST(Ac, CommonSourceAmpGainIsGmRout) {
+  // NMOS common-source stage with resistive load: |Av| ~ gm*(Rd||ro).
+  Circuit c;
+  const NodeId vdd = c.node("vdd"), in = c.node("in"), out = c.node("out");
+  c.add<VoltageSource>("Vdd", vdd, c.ground(), Waveform::dc(1.8));
+  c.add<VoltageSource>("Vin", in, c.ground(), Waveform::dc(0.6), 1.0);
+  c.add<Resistor>("Rd", vdd, out, 20e3);
+  auto& m = c.add<Mosfet>("M1", out, in, c.ground(), c.ground(),
+                          builtin_model("nmos"), 5e-6, 0.5e-6);
+  const auto op = solve_op(c);
+  ASSERT_TRUE(op.converged);
+  const auto e = m.evaluate_at(op.x);
+  ASSERT_EQ(e.region, MosEval::Region::kSaturation);
+  const double ro = 1.0 / e.gds;
+  const double av_expect = e.gm * (20e3 * ro) / (20e3 + ro);
+  const auto sweep = run_ac(c, op.x, std::vector<double>{1e3}, out);
+  EXPECT_NEAR(std::abs(sweep.points[0].value), av_expect, av_expect * 0.01);
+  // Inverting stage: phase ~ 180 deg.
+  EXPECT_NEAR(std::abs(sweep.phase_deg(0)), 180.0, 1.0);
+}
+
+TEST(Transient, MosInverterSwitchingDelayFinite) {
+  // Drive a loaded inverter with a fast pulse; output must swing rail to
+  // rail and show a finite RC-limited transition.
+  Circuit c;
+  const NodeId vdd = c.node("vdd"), in = c.node("in"), out = c.node("out");
+  c.add<VoltageSource>("Vdd", vdd, c.ground(), Waveform::dc(1.8));
+  c.add<VoltageSource>("Vin", in, c.ground(),
+                       Waveform::pulse(0.0, 1.8, 1e-9, 50e-12, 50e-12, 5e-9, 10e-9));
+  c.add<Mosfet>("MN", out, in, c.ground(), c.ground(), builtin_model("nmos"),
+                1e-6, 0.18e-6);
+  c.add<Mosfet>("MP", out, in, vdd, vdd, builtin_model("pmos"), 2e-6, 0.18e-6);
+  c.add<Capacitor>("CL", out, c.ground(), 20e-15);
+  TransientOptions opts;
+  opts.dt = 10e-12;
+  TransientSession sim(c, opts);
+  double vmin = 2.0, vmax = -1.0;
+  for (int i = 0; i < 900; ++i) {
+    sim.step();
+    vmin = std::min(vmin, sim.v(out));
+    vmax = std::max(vmax, sim.v(out));
+  }
+  EXPECT_LT(vmin, 0.05);
+  EXPECT_GT(vmax, 1.75);
+}
+
+TEST(Op, StrategyReportedAndDiagnosticsCount) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add<VoltageSource>("V1", n, c.ground(), Waveform::dc(1.0));
+  c.add<Resistor>("R1", n, c.ground(), 1e3);
+  const auto r = solve_op(c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.strategy, "newton");
+  EXPECT_GE(r.iterations, 1);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Netlist front-end tests: value suffixes, cards, subckt flattening, and
+// equivalence between the text netlist and the programmatic builder.
+#include <gtest/gtest.h>
+
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/netlist_parser.hpp"
+#include "spice/op.hpp"
+
+namespace {
+
+using namespace uwbams::spice;
+
+TEST(SpiceValue, Suffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5k"), 1.5e3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10meg"), 10e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3t"), 3e12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4m"), 4e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5u"), 5e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("6n"), 6e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("7p"), 7e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("8f"), 8e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-0.5"), -0.5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-9"), 1e-9);
+  EXPECT_THROW(parse_spice_value("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("1x"), std::invalid_argument);
+}
+
+TEST(Parser, DividerFromText) {
+  Circuit c;
+  parse_netlist(R"(* divider
+V1 in 0 DC 10
+R1 in mid 3k
+R2 mid 0 1k
+.end
+)",
+                c);
+  const auto r = solve_op(c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("mid")), 2.5, 1e-9);
+}
+
+TEST(Parser, ContinuationAndComments) {
+  Circuit c;
+  parse_netlist("* title comment\n"
+                "V1 in 0\n"
+                "+ DC 5 ; inline comment\n"
+                "R1 in 0 1k\n",
+                c);
+  const auto r = solve_op(c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("in")), 5.0, 1e-9);
+}
+
+TEST(Parser, PulseSourceCard) {
+  Circuit c;
+  parse_netlist("V1 a 0 PULSE(0 1.8 10n 1n 1n 5n 20n)\nR1 a 0 1k\n", c);
+  auto* v = dynamic_cast<VoltageSource*>(c.find_device("V1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v->value(13e-9), 1.8);
+}
+
+TEST(Parser, ModelCardOverrides) {
+  Circuit c;
+  parse_netlist(R"(.model mynmos nmos vt0=0.6 kp=100u lambda=0.2
+M1 d g 0 0 mynmos W=2u L=0.5u
+V1 d 0 DC 1.8
+V2 g 0 DC 1.2
+)",
+                c);
+  auto* m = dynamic_cast<Mosfet*>(c.find_device("M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->model().vt0, 0.6);
+  EXPECT_DOUBLE_EQ(m->model().kp, 100e-6);
+  EXPECT_DOUBLE_EQ(m->model().lambda, 0.2);
+  EXPECT_DOUBLE_EQ(m->width(), 2e-6);
+  EXPECT_DOUBLE_EQ(m->length(), 0.5e-6);
+}
+
+TEST(Parser, SubcktFlattening) {
+  Circuit c;
+  parse_netlist(R"(* subckt test
+.subckt divider top bot mid
+R1 top mid 1k
+R2 mid bot 1k
+.ends
+V1 in 0 DC 8
+Xd1 in 0 m1 divider
+Xd2 m1 0 m2 divider
+)",
+                c);
+  const auto r = solve_op(c);
+  ASSERT_TRUE(r.converged);
+  // Xd2 loads Xd1's lower leg: v(m1) = 8 * (1k||2k)/(1k + 1k||2k) = 3.2.
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("m1")), 3.2, 1e-9);
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("m2")), 1.6, 1e-9);
+  // Internal devices got instance-prefixed names.
+  EXPECT_NE(c.find_device("Xd1.R1"), nullptr);
+  EXPECT_NE(c.find_device("Xd2.R2"), nullptr);
+}
+
+TEST(Parser, NestedSubckts) {
+  Circuit c;
+  parse_netlist(R"(.subckt leg a b
+R1 a b 2k
+.ends
+.subckt pair top bot
+Xl1 top mid leg
+Xl2 mid bot leg
+.ends
+V1 in 0 DC 4
+Xp in 0 pair
+)",
+                c);
+  const auto r = solve_op(c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NE(c.find_device("Xp.Xl1.R1"), nullptr);
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("Xp.mid")), 2.0, 1e-9);
+}
+
+TEST(Parser, ErrorsAreDescriptive) {
+  Circuit c1;
+  EXPECT_THROW(parse_netlist("R1 a 0\n", c1), std::invalid_argument);
+  Circuit c2;
+  // Note the leading comment: a bare first line would be read as the SPICE
+  // deck title, so the unsupported card must not be first.
+  EXPECT_THROW(parse_netlist("* deck\nQ1 a b c model\n", c2),
+               std::invalid_argument);
+  Circuit c3;
+  EXPECT_THROW(parse_netlist("X1 a b nosuch\n", c3), std::invalid_argument);
+  Circuit c4;
+  EXPECT_THROW(parse_netlist(".subckt foo a\nR1 a 0 1k\n", c4),
+               std::invalid_argument);
+}
+
+TEST(Parser, VcvsVccsCards) {
+  Circuit c;
+  parse_netlist(R"(V1 in 0 DC 1
+E1 e 0 in 0 4
+RLe e 0 1k
+G1 0 g in 0 1m
+RLg g 0 2k
+)",
+                c);
+  const auto r = solve_op(c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("e")), 4.0, 1e-9);
+  EXPECT_NEAR(c.voltage_in(r.x, c.find_node("g")), 2.0, 1e-9);
+}
+
+}  // namespace
