@@ -5,56 +5,51 @@
 // the decoded-bit agreement move across {0.05, 0.1, 0.2, 0.4} ns for the
 // IDEAL and ELDO variants. The embedded Newton solver is A-stable, so the
 // circuit variant degrades gracefully rather than diverging.
-#include <cstdio>
-#include <vector>
+//
+// Serial on purpose: like table1_cpu, the measured quantity is CPU time.
+#include <algorithm>
 
 #include "base/table.hpp"
-#include "bench_util.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "runner/runner.hpp"
 
 using namespace uwbams;
 
-int main() {
-  const auto scale = benchutil::scale_from_env();
-  std::printf("=== Ablation A1: time-step sensitivity (scale: %s) ===\n\n",
-              benchutil::scale_name(scale));
-
-  const double duration =
-      (scale == benchutil::Scale::kFast) ? 1.5e-6 : 6e-6;
+REGISTER_SCENARIO(step_size, "ablation",
+                  "A1 — solver step vs CPU time and decoded traffic") {
+  const double duration = ctx.pick(1.5e-6, 6e-6, 6e-6);
 
   base::Table t("CPU time and error count vs solver step (" +
                 base::Table::num(duration * 1e6, 0) + " us sim)");
   t.set_header({"dt [ns]", "IDEAL cpu [s]", "ELDO cpu [s]", "ratio",
                 "IDEAL errs", "ELDO errs", "bits"});
 
+  auto spec = ctx.spec().duration(duration).ebn0(12.0);
   for (double dt_ns : {0.05, 0.1, 0.2, 0.4}) {
-    core::SystemRunConfig cfg;
-    cfg.duration = duration;
-    cfg.sys.dt = dt_ns * 1e-9;
-    cfg.ebn0_db = 12.0;
-
-    cfg.kind = core::IntegratorKind::kIdeal;
-    const auto ideal = core::run_system_simulation(cfg);
-    cfg.kind = core::IntegratorKind::kSpice;
-    const auto eldo = core::run_system_simulation(cfg);
+    spec.dt(dt_ns * 1e-9);
+    const auto ideal = core::run_system_simulation(
+        spec.integrator(core::IntegratorKind::kIdeal).run_config());
+    const auto eldo = core::run_system_simulation(
+        spec.integrator(core::IntegratorKind::kSpice).run_config());
 
     t.add_row({base::Table::num(dt_ns, 2),
                base::Table::num(ideal.cpu_seconds, 2),
                base::Table::num(eldo.cpu_seconds, 2),
-               base::Table::num(eldo.cpu_seconds /
-                                    std::max(ideal.cpu_seconds, 1e-9),
-                                1) + " x",
+               base::Table::num(
+                   eldo.cpu_seconds / std::max(ideal.cpu_seconds, 1e-9), 1) +
+                   " x",
                std::to_string(ideal.bit_errors),
                std::to_string(eldo.bit_errors),
                std::to_string(ideal.bits_demodulated)});
-    std::printf("dt = %.2f ns done\n", dt_ns);
-    std::fflush(stdout);
+    ctx.sink.notef("dt = %.2f ns done", dt_ns);
   }
-  std::printf("\n%s\n", t.render().c_str());
-  std::printf(
+  ctx.sink.note("");
+  ctx.sink.table(t, "step_size");
+
+  ctx.sink.note(
       "Reading: CPU cost scales ~1/dt for both fidelities; the ELDO/IDEAL\n"
       "ratio is roughly step-independent, so the paper's Table-1 conclusion\n"
-      "does not hinge on its particular 0.05 ns choice.\n");
+      "does not hinge on its particular 0.05 ns choice.");
   return 0;
 }

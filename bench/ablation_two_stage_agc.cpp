@@ -7,16 +7,18 @@
 // integrated energy for the ADC input range."
 //
 // The single-stage AGC must choose between the integrator's ~100 mV input
-// range and the ADC target — it cannot satisfy both. This bench runs the
+// range and the ADC target — it cannot satisfy both. This scenario runs the
 // acquisition on the ELDO integrator under both policies and reports what
 // each achieves on the two constraints.
-#include <cstdio>
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 
 #include "base/random.hpp"
 #include "base/table.hpp"
 #include "base/units.hpp"
-#include "bench_util.hpp"
 #include "core/block_variant.hpp"
+#include "runner/runner.hpp"
 #include "uwb/channel.hpp"
 #include "uwb/pulse.hpp"
 #include "uwb/receiver.hpp"
@@ -29,12 +31,12 @@ namespace {
 struct AgcOutcome {
   double vga_db = 0.0;
   double post_scale = 1.0;
-  double sq_peak = 0.0;       // squared-signal peak at the integrator input
-  double mean_signal_v = 0.0; // effective (post-scale) energy sample
+  double sq_peak = 0.0;        // squared-signal peak at the integrator input
+  double mean_signal_v = 0.0;  // effective (post-scale) energy sample
   bool synced = false;
 };
 
-AgcOutcome run_link(bool two_stage) {
+AgcOutcome run_link(bool two_stage, std::uint64_t seed) {
   uwb::SystemConfig sys;
   sys.dt = 0.2e-9;
   sys.distance = 9.9;
@@ -49,7 +51,7 @@ AgcOutcome run_link(bool two_stage) {
   kernel.add_analog(tx);
   kernel.add_analog(chan);
   chan.set_input(tx.out());
-  base::Rng rng(5);
+  base::Rng rng(seed);
   const double pl = uwb::path_loss_db(sys.distance, sys.path_loss_db_1m,
                                       sys.path_loss_exponent);
   chan.set_realization(uwb::generate_cm1(rng), units::db_to_lin(-pl));
@@ -96,37 +98,42 @@ AgcOutcome run_link(bool two_stage) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "=== Ablation A4: two-stage AGC (paper §5 proposal), ELDO integrator "
-      "===\n\n");
+REGISTER_SCENARIO(two_stage_agc, "ablation",
+                  "A4 — single- vs two-stage AGC on the ELDO integrator") {
   uwb::SystemConfig sys;
   const double clamp = sys.integrator_clamp;
   const double adc_target = 0.75 * sys.adc_vmax;
 
+  // Two independent acquisitions (same channel/noise draws, different AGC
+  // policy); fan them across the pool. Additive offset from the base seed:
+  // --seed=1 reproduces the curated operating point.
+  const std::uint64_t link_seed = ctx.seed + 4;
+  const auto outcomes = ctx.pool.map<AgcOutcome>(
+      2, [&](std::size_t i) { return run_link(/*two_stage=*/i == 1, link_seed); });
+
   base::Table t("Single-stage vs two-stage AGC at the 9.9 m operating point");
-  t.set_header({"AGC", "VGA [dB]", "post x", "sq peak [mV]",
-                "vs 104 mV range", "energy sample [V]", "vs ADC target"});
-  for (bool two_stage : {false, true}) {
-    const auto o = run_link(two_stage);
-    t.add_row({two_stage ? "two-stage (§5)" : "single-stage",
-               base::Table::num(o.vga_db, 1),
-               base::Table::num(o.post_scale, 2),
+  t.set_header({"AGC", "VGA [dB]", "post x", "sq peak [mV]", "vs 104 mV range",
+                "energy sample [V]", "vs ADC target"});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    t.add_row({i == 1 ? "two-stage (§5)" : "single-stage",
+               base::Table::num(o.vga_db, 1), base::Table::num(o.post_scale, 2),
                base::Table::num(o.sq_peak * 1e3, 0),
                base::Table::num(o.sq_peak / clamp, 1) + " x",
                base::Table::num(o.mean_signal_v, 3),
                base::Table::num(o.mean_signal_v / adc_target, 2) + " x"});
-    std::printf("%s done (synced=%d)\n",
-                two_stage ? "two-stage" : "single-stage", o.synced);
-    std::fflush(stdout);
+    ctx.sink.notef("%s done (synced=%d)", i == 1 ? "two-stage" : "single-stage",
+                   o.synced ? 1 : 0);
   }
-  std::printf("\n%s\n", t.render().c_str());
-  std::printf(
+  ctx.sink.note("");
+  ctx.sink.table(t, "agc_policies");
+
+  ctx.sink.note(
       "Reading: the single-stage AGC drives the squared signal far beyond\n"
       "the integrator's ~104 mV linear range while still undershooting the\n"
       "ADC target (the §5 conflict). The two-stage policy keeps the input\n"
       "near the range and restores the ADC level digitally — the\n"
       "architectural adjustment the paper's mixed-level simulation\n"
-      "suggested before circuit redesign.\n");
+      "suggested before circuit redesign.");
   return 0;
 }

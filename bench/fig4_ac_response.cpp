@@ -1,21 +1,20 @@
-// fig4_ac_response — reproduces Fig. 4: "Integrator AC response".
+// fig4_ac — reproduces Fig. 4: "Integrator AC response".
 //
 // Runs the small-signal AC sweep of the 31-transistor I&D netlist, fits the
 // Phase-IV two-pole model, and prints both curves (they must overlap, as in
 // the paper). Reports the extracted DC gain and pole frequencies against
 // the paper's 21 dB / 0.886 MHz / 5.895 GHz.
 #include <cmath>
-#include <cstdio>
 
 #include "base/table.hpp"
 #include "base/units.hpp"
 #include "core/characterize.hpp"
+#include "runner/runner.hpp"
 
 using namespace uwbams;
 
-int main() {
-  std::printf("=== Fig. 4 reproduction: Integrate & Dump AC response ===\n\n");
-
+REGISTER_SCENARIO(fig4_ac, "bench",
+                  "Fig. 4 — Integrate & Dump AC response + two-pole fit") {
   const auto ch = core::characterize_itd();
 
   base::Series series("Fig 4. |H(f)| of the I&D cell", "freq_hz");
@@ -29,8 +28,8 @@ int main() {
                           (1.0 + std::pow(f / ch.ac.f_pole2, 2)));
     series.add_row(f, {ch.sweep.mag_db(i), model});
   }
-  series.print(5);
-  std::printf("\n%s\n", series.ascii_plot(70, 22).c_str());
+  ctx.sink.series(series, "ac_response", 5);
+  ctx.sink.plot(series, 70, 22);
 
   base::Table t("Extracted vs paper (Fig. 4 figures of merit)");
   t.set_header({"Quantity", "Paper", "This reproduction"});
@@ -45,13 +44,19 @@ int main() {
              base::Table::num(ch.input_linear_range * 1e3, 0) + " mV"});
   t.add_row({"model fit residual", "(overlaps)",
              base::Table::num(ch.ac.rms_error_db, 2) + " dB rms"});
-  t.print();
+  ctx.sink.table(t, "figures_of_merit");
 
-  std::printf(
+  ctx.sink.metric("dc_gain_db", ch.ac.dc_gain_db);
+  ctx.sink.metric("f_pole1_hz", ch.ac.f_pole1);
+  ctx.sink.metric("f_pole2_hz", ch.ac.f_pole2);
+  ctx.sink.metric("unity_gain_hz", ch.unity_gain_freq);
+  ctx.sink.metric("input_linear_range_v", ch.input_linear_range);
+  ctx.sink.metric("fit_rms_error_db", ch.ac.rms_error_db);
+
+  ctx.sink.notef(
       "\nShape check: ideal-integrator (-20 dB/dec) band from ~%.1f MHz to "
       "~%.2f GHz;\nthe Phase-IV model overlaps the netlist response within "
-      "%.2f dB rms.\n",
-      ch.ac.f_pole1 * 3.0 / 1e6, ch.ac.f_pole2 / 3.0 / 1e9,
-      ch.ac.rms_error_db);
+      "%.2f dB rms.",
+      ch.ac.f_pole1 * 3.0 / 1e6, ch.ac.f_pole2 / 3.0 / 1e9, ch.ac.rms_error_db);
   return 0;
 }

@@ -8,88 +8,101 @@
 // integrator at higher Eb/N0" — at the default (cold) AGC operating point
 // the circuit's limited input range censors noise spikes and crosses below
 // the ideal curve at high Eb/N0.
-#include <cstdio>
+//
+// Each (integrator, Eb/N0) pair is an independent task: run_ber_sweep seeds
+// every point from the system seed and the Eb/N0 value alone, so the fanned
+// sweep is bit-identical to the serial one for any --jobs value.
+#include <algorithm>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/table.hpp"
-#include "bench_util.hpp"
 #include "core/block_variant.hpp"
+#include "runner/runner.hpp"
 #include "uwb/ber.hpp"
 
 using namespace uwbams;
 
-int main() {
-  const auto scale = benchutil::scale_from_env();
-  std::printf("=== Fig. 6 reproduction: BER vs Eb/N0 (scale: %s) ===\n\n",
-              benchutil::scale_name(scale));
+REGISTER_SCENARIO(fig6_ber, "bench",
+                  "Fig. 6 — BER vs Eb/N0, ideal vs SPICE integrator") {
+  uwb::BerConfig base;
+  base.sys.dt = 0.2e-9;  // 5 GS/s resolves the 500 MHz-class pulses
+  base.sys.seed = ctx.seed;
+  base.ebn0_db = {0, 2, 4, 6, 8, 10, 12, 14, 16};
+  base.max_bits = ctx.pick<std::uint64_t>(1000, 8000, 60000);
+  base.min_errors = ctx.pick<std::uint64_t>(20, 40, 80);
 
-  uwb::BerConfig cfg;
-  cfg.sys.dt = 0.2e-9;  // 5 GS/s resolves the 500 MHz-class pulses
-  cfg.ebn0_db = {0, 2, 4, 6, 8, 10, 12, 14, 16};
-  switch (scale) {
-    case benchutil::Scale::kFast:
-      cfg.max_bits = 1000;
-      cfg.min_errors = 20;
-      break;
-    case benchutil::Scale::kDefault:
-      cfg.max_bits = 8000;
-      cfg.min_errors = 40;
-      break;
-    case benchutil::Scale::kFull:
-      cfg.max_bits = 60000;
-      cfg.min_errors = 80;
-      break;
-  }
+  const double tw = uwb::receiver_tw_product(base.sys);
+  ctx.sink.notef("Detector time-bandwidth product M = B*T = %.1f\n", tw);
 
-  const double tw = uwb::receiver_tw_product(cfg.sys);
-  std::printf("Detector time-bandwidth product M = B*T = %.1f\n", tw);
-
-  std::vector<std::vector<uwb::BerPoint>> curves;
   const std::vector<core::IntegratorKind> kinds = {
       core::IntegratorKind::kIdeal, core::IntegratorKind::kSpice};
-  for (auto kind : kinds) {
-    uwb::BerConfig c = cfg;
-    if (kind == core::IntegratorKind::kSpice &&
-        scale != benchutil::Scale::kFull) {
-      c.max_bits = std::min<std::uint64_t>(c.max_bits, 6000);
-    }
-    std::printf("running %s ...\n", core::to_string(kind).c_str());
-    std::fflush(stdout);
-    curves.push_back(
-        uwb::run_ber_sweep(c, core::make_integrator_factory(kind, c.sys)));
-  }
+  const std::size_t npts = base.ebn0_db.size();
+
+  auto spec = ctx.spec()
+                  .axis("kind", {0, 1})  // index into `kinds`
+                  .axis("ebn0_db", base.ebn0_db);
+  const auto flat = ctx.pool.map<uwb::BerPoint>(
+      spec.point_count(), [&](std::size_t t) {
+        const auto pt = spec.point(t);
+        const auto kind = kinds[static_cast<std::size_t>(pt.at("kind"))];
+        uwb::BerConfig c = base;
+        // The transistor-level point costs ~40x an ideal one; cap it below
+        // paper scale (the old bench's behavior).
+        if (kind == core::IntegratorKind::kSpice &&
+            ctx.scale != runner::Scale::kFull)
+          c.max_bits = std::min<std::uint64_t>(c.max_bits, 6000);
+        c.ebn0_db = {pt.at("ebn0_db")};
+        return uwb::run_ber_sweep(c,
+                                  core::make_integrator_factory(kind, c.sys))[0];
+      });
+
+  std::vector<std::vector<uwb::BerPoint>> curves(kinds.size());
+  for (std::size_t k = 0; k < kinds.size(); ++k)
+    curves[k].assign(flat.begin() + static_cast<std::ptrdiff_t>(k * npts),
+                     flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * npts));
 
   base::Series series("Fig 6. BER vs Eb/N0", "ebn0_db");
   series.add_column("ideal");
   series.add_column("eldo");
   series.add_column("theory");
-  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+  for (std::size_t i = 0; i < npts; ++i) {
     series.add_row(curves[0][i].ebn0_db,
                    {curves[0][i].ber, curves[1][i].ber,
                     uwb::energy_detection_ber_theory(curves[0][i].ebn0_db, tw)});
   }
-  std::printf("\n");
-  series.print(4);
-  std::printf("\n%s\n", series.ascii_plot(64, 20, /*log_y=*/true).c_str());
+  ctx.sink.series(series, "ber_curves", 4);
+  ctx.sink.plot(series, 64, 20, /*log_y=*/true);
 
   base::Table t("Fig 6. measured points (95% half-widths)");
-  t.set_header({"Eb/N0 [dB]", "IDEAL", "ELDO", "IDEAL bits", "ELDO bits"});
-  for (std::size_t i = 0; i < curves[0].size(); ++i) {
+  t.set_header({"Eb/N0 [dB]", "IDEAL", "ELDO", "IDEAL bits", "IDEAL errs",
+                "ELDO bits", "ELDO errs"});
+  for (std::size_t i = 0; i < npts; ++i) {
     t.add_row({base::Table::num(curves[0][i].ebn0_db, 0),
                base::Table::sci(curves[0][i].ber, 2) + " +/- " +
                    base::Table::sci(curves[0][i].half_width_95, 1),
                base::Table::sci(curves[1][i].ber, 2) + " +/- " +
                    base::Table::sci(curves[1][i].half_width_95, 1),
                std::to_string(curves[0][i].bits),
-               std::to_string(curves[1][i].bits)});
+               std::to_string(curves[0][i].errors),
+               std::to_string(curves[1][i].bits),
+               std::to_string(curves[1][i].errors)});
   }
-  t.print();
+  ctx.sink.table(t, "points");
 
-  std::printf(
+  std::uint64_t ideal_errors = 0, eldo_errors = 0;
+  for (const auto& p : curves[0]) ideal_errors += p.errors;
+  for (const auto& p : curves[1]) eldo_errors += p.errors;
+  ctx.sink.metric("tw_product", tw);
+  ctx.sink.metric("ideal_total_errors", ideal_errors);
+  ctx.sink.metric("eldo_total_errors", eldo_errors);
+
+  ctx.sink.note(
       "\nShape check (paper Fig. 6): both detectors waterfall together; at\n"
       "low/mid Eb/N0 the curves overlap within the confidence interval, and\n"
       "at high Eb/N0 the circuit integrator edges below the ideal one (its\n"
-      "input clamp censors large noise excursions). Run UWBAMS_FULL=1 for\n"
-      "tighter confidence at the 1e-3..1e-4 points.\n");
+      "input clamp censors large noise excursions). Run --scale=full for\n"
+      "tighter confidence at the 1e-3..1e-4 points.");
   return 0;
 }

@@ -1,4 +1,4 @@
-// table1_cpu_time — reproduces Table 1: "CPU time comparison".
+// table1_cpu — reproduces Table 1: "CPU time comparison".
 //
 // Runs the same 30 us system simulation (full receive chain, 2-PPM traffic,
 // fixed 0.05 ns step, Newton/Raphson with EPS 1e-6 in the embedded solver)
@@ -7,97 +7,58 @@
 // test is the ordering and ratio structure: t(ELDO) >> t(VHDL-AMS) >
 // t(IDEAL).
 //
-// Uses google-benchmark for the measurement loop of the two fast variants;
-// the ELDO run is measured directly (one long run is more representative
-// than repetitions for a 10-100 s simulation).
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
+// Deliberately serial (--jobs is ignored here): concurrent variants would
+// contend for cores and distort exactly the CPU times the table reports.
 #include <vector>
 
-#include "bench_util.hpp"
+#include "base/table.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "runner/runner.hpp"
 
 using namespace uwbams;
 
-namespace {
+REGISTER_SCENARIO(table1_cpu, "bench",
+                  "Table 1 — CPU time of IDEAL / VHDL-AMS / ELDO runs") {
+  const double duration = ctx.pick(3e-6, 30e-6, 30e-6);
+  ctx.sink.notef("Workload: %.0f us system simulation @ 0.05 ns fixed step\n",
+                 duration * 1e6);
 
-core::SystemRunConfig make_config(core::IntegratorKind kind, double duration) {
-  core::SystemRunConfig cfg;
-  cfg.kind = kind;
-  cfg.duration = duration;
-  cfg.sys.dt = 0.05e-9;  // the paper's fixed step
-  return cfg;
-}
-
-double duration_from_scale() {
-  switch (benchutil::scale_from_env()) {
-    case benchutil::Scale::kFast: return 3e-6;
-    case benchutil::Scale::kFull: return 30e-6;  // the paper's 30 us
-    case benchutil::Scale::kDefault: return 30e-6;
-  }
-  return 30e-6;
-}
-
-std::vector<core::SystemRunResult> g_results;
-
-void run_variant(benchmark::State& state, core::IntegratorKind kind) {
-  const auto cfg = make_config(kind, duration_from_scale());
-  core::SystemRunResult last;
-  for (auto _ : state) {
-    last = core::run_system_simulation(cfg);
-    benchmark::DoNotOptimize(last.steps);
-  }
-  state.counters["sim_us"] = last.sim_seconds * 1e6;
-  state.counters["steps"] = static_cast<double>(last.steps);
-  state.counters["cpu_s"] = last.cpu_seconds;
-  g_results.push_back(last);
-}
-
-void BM_Ideal(benchmark::State& state) {
-  run_variant(state, core::IntegratorKind::kIdeal);
-}
-void BM_VhdlAms(benchmark::State& state) {
-  run_variant(state, core::IntegratorKind::kBehavioral);
-}
-void BM_Eldo(benchmark::State& state) {
-  run_variant(state, core::IntegratorKind::kSpice);
-}
-
-BENCHMARK(BM_Ideal)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_VhdlAms)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Eldo)->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::printf("=== Table 1 reproduction: CPU time comparison (scale: %s) ===\n",
-              benchutil::scale_name(benchutil::scale_from_env()));
-  std::printf("Workload: %.0f us system simulation @ 0.05 ns fixed step\n\n",
-              duration_from_scale() * 1e6);
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-
-  // Dedup (benchmark may rerun): keep the last run of each kind.
-  std::vector<core::SystemRunResult> per_kind;
+  std::vector<core::SystemRunResult> results;
   for (auto kind :
        {core::IntegratorKind::kIdeal, core::IntegratorKind::kBehavioral,
         core::IntegratorKind::kSpice}) {
-    for (auto it = g_results.rbegin(); it != g_results.rend(); ++it) {
-      if (it->kind == kind) {
-        per_kind.push_back(*it);
-        break;
-      }
-    }
+    ctx.sink.notef("running %s ...", core::to_string(kind).c_str());
+    const auto cfg = ctx.spec()
+                         .dt(0.05e-9)  // the paper's fixed step
+                         .integrator(kind)
+                         .duration(duration)
+                         .run_config();
+    results.push_back(core::run_system_simulation(cfg));
   }
-  std::printf("\n%s\n", core::render_cpu_table(per_kind).c_str());
-  std::printf(
+
+  ctx.sink.note("\n" + core::render_cpu_table(results));
+
+  base::Table t("Table 1 raw measurements");
+  t.set_header({"Model", "cpu_s", "sim_us", "steps", "bits", "errors"});
+  for (const auto& r : results) {
+    t.add_row({core::to_string(r.kind), base::Table::num(r.cpu_seconds, 3),
+               base::Table::num(r.sim_seconds * 1e6, 1),
+               std::to_string(r.steps), std::to_string(r.bits_demodulated),
+               std::to_string(r.bit_errors)});
+    ctx.sink.metric("cpu_s_" + core::to_string(r.kind), r.cpu_seconds);
+  }
+  ctx.sink.table(t, "cpu_times");
+  ctx.sink.metric("eldo_over_ideal",
+                  results[2].cpu_seconds /
+                      (results[0].cpu_seconds > 0 ? results[0].cpu_seconds
+                                                  : 1e-9));
+
+  ctx.sink.note(
       "Paper Table 1 (30 us, IBM Xeon 3.0 GHz, ADMS/ELDO):\n"
       "  ELDO 59m33s : VHDL-AMS 20m37s : IDEAL 9m11s  (6.48x : 2.25x : 1x)\n"
       "Shape check: t(ELDO) >> t(VHDL-AMS) >= t(IDEAL). Our behavioral two-\n"
       "pole model adds only two ODE states to the chain, so its overhead\n"
-      "over IDEAL is smaller than in the paper's VHDL-AMS runtime.\n");
+      "over IDEAL is smaller than in the paper's VHDL-AMS runtime.");
   return 0;
 }

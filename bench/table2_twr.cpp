@@ -1,57 +1,83 @@
 // table2_twr — reproduces Table 2: "TWR simulation results @ 9.9 m with
 // IDEAL and ELDO integrator".
 //
-// Ten complete two-way-ranging exchanges (request/acquire/reply/acquire)
-// over the 4a CM1 LOS channel with the recommended path loss, once per
+// Complete two-way-ranging exchanges (request/acquire/reply/acquire) over
+// the 4a CM1 LOS channel with the recommended path loss, once per
 // integrator fidelity. The paper's two observations under test:
 //   * the ELDO integrator produces a *larger* distance offset (the AGC
 //     drives the squared signal beyond its input range -> lower output ->
 //     later threshold crossings), and
 //   * a *smaller/comparable* spread (band-limiting of the detector).
-#include <cstdio>
+//
+// Iterations fan out across the pool; TwrConfig::channel_seed/noise_seed
+// fix each iteration's seeds up front, so the sharded run reproduces the
+// serial TwoWayRanging::run() loop bit for bit.
+#include <string>
 #include <vector>
 
 #include "base/table.hpp"
-#include "bench_util.hpp"
 #include "core/block_variant.hpp"
 #include "core/report.hpp"
+#include "runner/runner.hpp"
 #include "uwb/ranging.hpp"
 
 using namespace uwbams;
 
-int main() {
-  const auto scale = benchutil::scale_from_env();
-  std::printf("=== Table 2 reproduction: TWR @ 9.9 m, CM1 LOS (scale: %s) ===\n\n",
-              benchutil::scale_name(scale));
-
+REGISTER_SCENARIO(table2_twr, "bench",
+                  "Table 2 — TWR distance estimates @ 9.9 m, CM1 LOS") {
   uwb::TwrConfig cfg;
-  cfg.sys.dt = (scale == benchutil::Scale::kFull) ? 0.1e-9 : 0.2e-9;
-  cfg.iterations = (scale == benchutil::Scale::kFast) ? 3 : 10;
+  cfg.sys.dt = ctx.pick(0.2e-9, 0.2e-9, 0.1e-9);
+  cfg.sys.seed = ctx.seed;
+  cfg.iterations = ctx.pick(3, 10, 10);
+
+  const std::vector<core::IntegratorKind> kinds = {
+      core::IntegratorKind::kIdeal, core::IntegratorKind::kSpice};
+  const auto n = static_cast<std::size_t>(cfg.iterations);
+
+  ctx.sink.notef("running %zu x %d TWR exchanges ...", kinds.size(),
+                 cfg.iterations);
+  auto spec = ctx.spec()
+                  .axis("kind", {0, 1})  // index into `kinds`
+                  .repetitions(cfg.iterations);
+  const auto flat = ctx.pool.map<uwb::TwrIteration>(
+      spec.point_count(), [&](std::size_t t) {
+        const auto pt = spec.point(t);
+        uwb::TwoWayRanging twr(
+            cfg, core::make_integrator_factory(
+                     kinds[static_cast<std::size_t>(pt.at("kind"))], cfg.sys));
+        return twr.run_iteration(cfg.channel_seed(pt.repetition),
+                                 cfg.noise_seed(pt.repetition));
+      });
 
   std::vector<core::NamedTwr> rows;
-  for (auto kind :
-       {core::IntegratorKind::kIdeal, core::IntegratorKind::kSpice}) {
-    std::printf("running %s (%d iterations) ...\n",
-                core::to_string(kind).c_str(), cfg.iterations);
-    std::fflush(stdout);
-    uwb::TwoWayRanging twr(cfg,
-                           core::make_integrator_factory(kind, cfg.sys));
-    rows.push_back({core::to_string(kind), twr.run()});
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    core::NamedTwr named;
+    named.name = core::to_string(kinds[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& it = flat[k * n + i];
+      if (!it.ok) ++named.result.failures;
+      named.result.iterations.push_back(it);
+    }
+    rows.push_back(std::move(named));
   }
 
-  std::printf("\n%s\n", core::render_twr_table(rows, cfg.sys.distance).c_str());
+  ctx.sink.note("\n" + core::render_twr_table(rows, cfg.sys.distance));
 
   base::Table detail("Per-iteration distance estimates [m]");
   detail.set_header({"iter", rows[0].name, rows[1].name});
-  for (std::size_t i = 0; i < rows[0].result.iterations.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     detail.add_row(
         {std::to_string(i),
          base::Table::num(rows[0].result.iterations[i].distance_estimate, 3),
          base::Table::num(rows[1].result.iterations[i].distance_estimate, 3)});
   }
-  detail.print();
+  ctx.sink.table(detail, "iterations");
+  for (const auto& r : rows) {
+    ctx.sink.metric("mean_m_" + r.name, r.result.mean());
+    ctx.sink.metric("stddev_m_" + r.name, r.result.stddev());
+  }
 
-  std::printf(
+  ctx.sink.note(
       "\nPaper Table 2 @ 9.9 m: IDEAL mean 10.10 m / var 0.49 m;"
       " ELDO mean 11.16 m / var 0.10 m.\n"
       "Shape check: the ELDO integrator's offset exceeds the IDEAL one (its\n"
@@ -59,6 +85,6 @@ int main() {
       "threshold crossing happens later on both sides of the exchange). Our\n"
       "bias difference is smaller than the paper's because the AGC here has\n"
       "gain headroom and the ToA estimator interpolates between 2 ns bins —\n"
-      "see bench/ablation_agc_headroom for the gain-limited regime.\n");
+      "see the agc_operating_point ablation for the gain-limited regime.");
   return 0;
 }

@@ -3,9 +3,8 @@
 // Loads the shipped Integrate & Dump netlist through the SPICE-dialect
 // parser, solves its operating point, runs an AC sweep and a short
 // transient — the ELDO-role substrate without any of the system layers.
-#include <cstdio>
-
 #include "base/table.hpp"
+#include "runner/runner.hpp"
 #include "spice/ac.hpp"
 #include "spice/itd_builder.hpp"
 #include "spice/netlist_parser.hpp"
@@ -14,37 +13,40 @@
 
 using namespace uwbams;
 
-int main() {
-  std::printf("=== SPICE playground: the I&D netlist standalone ===\n\n");
-
+REGISTER_SCENARIO(spice_playground, "example",
+                  "The shipped I&D netlist standalone: OP, AC, transient") {
   spice::Circuit ckt;
   spice::parse_netlist_file(spice::itd_netlist_path(), ckt);
-  std::printf("loaded %s\n  devices: %zu (%zu MOSFETs), nodes: %zu\n\n",
-              spice::itd_netlist_path().c_str(), ckt.device_count(),
-              ckt.count_devices_with_prefix("Xitd.M"), ckt.node_count());
+  ctx.sink.notef("loaded %s\n  devices: %zu (%zu MOSFETs), nodes: %zu\n",
+                 spice::itd_netlist_path().c_str(), ckt.device_count(),
+                 ckt.count_devices_with_prefix("Xitd.M"), ckt.node_count());
 
   // Operating point.
   const auto op = spice::solve_op(ckt);
-  std::printf("operating point: %s in %d iterations (strategy: %s)\n",
-              op.converged ? "converged" : "FAILED", op.iterations,
-              op.strategy.c_str());
+  ctx.sink.notef("operating point: %s in %d iterations (strategy: %s)",
+                 op.converged ? "converged" : "FAILED", op.iterations,
+                 op.strategy.c_str());
   base::Table t("Key bias nodes");
   t.set_header({"node", "V"});
   for (const char* n : {"Xitd.Vbias1", "Xitd.Vref", "Xitd.Outp", "Xitd.Outm",
                         "Xitd.Vcmfb"}) {
     t.add_row({n, base::Table::num(ckt.voltage_in(op.x, ckt.find_node(n)), 4)});
   }
-  t.print();
+  ctx.sink.table(t, "bias_nodes");
+  ctx.sink.metric("op_converged", op.converged ? "yes" : "no");
+  ctx.sink.metric("op_iterations", static_cast<std::uint64_t>(op.iterations));
 
   // AC sweep (the probe sources in the netlist carry the AC stimulus).
   const auto freqs = spice::log_frequency_grid(1e4, 10e9, 3);
-  const auto sweep = spice::run_ac(ckt, op.x, freqs,
-                                   ckt.find_node("Out_intp"),
+  const auto sweep = spice::run_ac(ckt, op.x, freqs, ckt.find_node("Out_intp"),
                                    ckt.find_node("Out_intm"));
-  std::printf("\nAC response |H| (differential output / differential input):\n");
-  for (std::size_t i = 0; i < sweep.points.size(); i += 3)
-    std::printf("  f = %10.3e Hz   %7.2f dB\n", sweep.points[i].freq,
-                sweep.mag_db(i));
+  base::Series series("AC response |H| (diff out / diff in)", "freq_hz");
+  series.add_column("mag_db");
+  for (std::size_t i = 0; i < sweep.points.size(); ++i)
+    series.add_row(sweep.points[i].freq, {sweep.mag_db(i)});
+  ctx.sink.note("\nAC response |H| (differential output / differential input):");
+  ctx.sink.series(series, "ac_response", 4, /*print_rows=*/false);
+  ctx.sink.plot(series, 64, 16);
 
   // Short transient: integrate a 30 mV differential step for 100 ns.
   spice::TransientOptions topts;
@@ -56,12 +58,14 @@ int main() {
   sim.source("Vinp").set_override(0.915);
   sim.source("Vinm").set_override(0.885);
   sim.run_until(130e-9);
-  std::printf("\ntransient: 30 mV differential input integrated for 100 ns\n"
-              "  v(Out_intm) - v(Out_intp) = %.4f V\n"
-              "  (%llu steps, %.2f Newton iterations/step)\n",
-              sim.v("Out_intm") - sim.v("Out_intp"),
-              static_cast<unsigned long long>(sim.steps_taken()),
-              static_cast<double>(sim.total_newton_iterations()) /
-                  static_cast<double>(sim.steps_taken()));
-  return 0;
+  const double vout = sim.v("Out_intm") - sim.v("Out_intp");
+  ctx.sink.notef(
+      "\ntransient: 30 mV differential input integrated for 100 ns\n"
+      "  v(Out_intm) - v(Out_intp) = %.4f V\n"
+      "  (%llu steps, %.2f Newton iterations/step)",
+      vout, static_cast<unsigned long long>(sim.steps_taken()),
+      static_cast<double>(sim.total_newton_iterations()) /
+          static_cast<double>(sim.steps_taken()));
+  ctx.sink.metric("transient_vout_v", vout);
+  return op.converged ? 0 : 1;
 }

@@ -3,45 +3,58 @@
 // Runs complete TWR exchanges (request / acquire / timed reply / acquire)
 // over the 802.15.4a CM1 channel at several distances and prints the
 // estimated vs true distance — the locationing capability that motivates
-// the paper's UWB SoC.
-#include <cstdio>
+// the paper's UWB SoC. One task per distance, fanned across the pool.
+#include <vector>
 
 #include "base/table.hpp"
 #include "core/block_variant.hpp"
+#include "runner/runner.hpp"
 #include "uwb/ranging.hpp"
 
 using namespace uwbams;
 
-int main() {
-  std::printf("=== Two-way ranging across distances (ideal integrator) ===\n\n");
+REGISTER_SCENARIO(twr_ranging, "example",
+                  "TWR distance estimation across distances (ideal I&D)") {
+  const std::vector<double> distances = {3.0, 6.0, 9.9, 15.0};
+
+  const auto iterations = ctx.pool.map<uwb::TwrIteration>(
+      distances.size(), [&](std::size_t i) {
+        uwb::TwrConfig cfg;
+        cfg.sys.dt = 0.2e-9;
+        cfg.sys.distance = distances[i];
+        cfg.iterations = 1;
+        uwb::TwoWayRanging twr(
+            cfg, core::make_integrator_factory(core::IntegratorKind::kIdeal,
+                                               cfg.sys));
+        // Repo seed idiom: additive offsets from the base seed. The default
+        // (--seed=1) reproduces the curated channel draw (7/101) for which
+        // acquisition succeeds at all four distances.
+        return twr.run_iteration(ctx.seed + 6, ctx.seed + 100);
+      });
 
   base::Table t("TWR distance estimation, CM1 LOS channel");
   t.set_header({"true d [m]", "estimate [m]", "error [m]", "ToA bias A/B [ns]"});
-
-  for (double d : {3.0, 6.0, 9.9, 15.0}) {
-    uwb::TwrConfig cfg;
-    cfg.sys.dt = 0.2e-9;
-    cfg.sys.distance = d;
-    cfg.iterations = 1;
-    uwb::TwoWayRanging twr(
-        cfg, core::make_integrator_factory(core::IntegratorKind::kIdeal,
-                                           cfg.sys));
-    const auto it = twr.run_iteration(/*channel_seed=*/7, /*noise_seed=*/101);
+  int failures = 0;
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const auto& it = iterations[i];
     if (it.ok) {
-      t.add_row({base::Table::num(d, 1),
+      t.add_row({base::Table::num(distances[i], 1),
                  base::Table::num(it.distance_estimate, 2),
-                 base::Table::num(it.distance_estimate - d, 2),
+                 base::Table::num(it.distance_estimate - distances[i], 2),
                  base::Table::num(it.toa_bias_a * 1e9, 1) + " / " +
                      base::Table::num(it.toa_bias_b * 1e9, 1)});
     } else {
-      t.add_row({base::Table::num(d, 1), "acquisition failed", "-", "-"});
+      t.add_row({base::Table::num(distances[i], 1), "acquisition failed", "-",
+                 "-"});
+      ++failures;
     }
-    std::printf("d = %.1f m done\n", d);
-    std::fflush(stdout);
   }
-  std::printf("\n%s\n", t.render().c_str());
-  std::printf("Note: RTT folding limits unambiguous range to c*Ts/2 ~ 19 m\n"
-              "at the default 128 ns symbol; the Counter block supplies the\n"
-              "whole-symbol part in a real link.\n");
+  ctx.sink.table(t, "distances");
+  ctx.sink.metric("failures", static_cast<std::uint64_t>(failures));
+
+  ctx.sink.note(
+      "Note: RTT folding limits unambiguous range to c*Ts/2 ~ 19 m\n"
+      "at the default 128 ns symbol; the Counter block supplies the\n"
+      "whole-symbol part in a real link.");
   return 0;
 }

@@ -4,6 +4,19 @@
 
 namespace uwbams::base {
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // splitmix64 (Steele/Lea/Flood) over the combined value; the golden-ratio
+  // stride decorrelates consecutive stream indices before mixing.
+  std::uint64_t z = base ^ (stream + 0x9e3779b97f4a7c15ull);
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  // Never hand back 0: mt19937_64 accepts it, but a zero seed is a common
+  // sentinel in configs and would alias with "unset".
+  return z ? z : 0x9e3779b97f4a7c15ull;
+}
+
 double Rng::uniform() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
 }

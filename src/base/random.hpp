@@ -13,11 +13,29 @@
 
 namespace uwbams::base {
 
+// Stateless seed mixer (splitmix64 over base ^ f(stream)). Two calls with
+// the same (base, stream) always produce the same seed, and nearby streams
+// land far apart, so worker seeds never collide or correlate.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 1) : seed_(seed), engine_(seed) {}
 
-  void reseed(std::uint64_t seed) { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    engine_.seed(seed);
+  }
+
+  // Seed this engine was last (re)seeded with. Draws do not change it.
+  std::uint64_t seed() const { return seed_; }
+
+  // Deterministic sub-stream: an independent Rng derived from this one's
+  // *seed* (not its current state), so fork(i) yields the same stream no
+  // matter how many draws happened before or which worker calls it — the
+  // property that makes parallel Monte-Carlo runs reproducible regardless
+  // of the job count.
+  Rng fork(std::uint64_t stream) const { return Rng(derive_seed(seed_, stream)); }
 
   // Uniform in [0, 1).
   double uniform();
@@ -48,6 +66,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_ = 1;
   std::mt19937_64 engine_;
 };
 

@@ -55,6 +55,36 @@ std::string Table::render() const {
 
 void Table::print() const { std::cout << render() << std::flush; }
 
+namespace {
+
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string csv_row(const std::vector<std::string>& row) {
+  std::string s;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) s += ',';
+    s += csv_cell(row[i]);
+  }
+  return s + "\n";
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string s;
+  if (!header_.empty()) s += csv_row(header_);
+  for (const auto& r : rows_) s += csv_row(r);
+  return s;
+}
+
 void Series::add_row(double x, const std::vector<double>& row) {
   if (row.size() != labels_.size())
     throw std::invalid_argument("Series::add_row: column count mismatch");
@@ -83,6 +113,24 @@ std::string Series::render(int precision) const {
 
 void Series::print(int precision) const {
   std::cout << render(precision) << std::flush;
+}
+
+std::string Series::to_csv() const {
+  std::ostringstream os;
+  os << csv_cell(x_label_);
+  for (const auto& l : labels_) os << "," << csv_cell(l);
+  os << "\n";
+  char buf[64];
+  for (std::size_t r = 0; r < x_.size(); ++r) {
+    std::snprintf(buf, sizeof buf, "%.17g", x_[r]);
+    os << buf;
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      std::snprintf(buf, sizeof buf, "%.17g", cols_[c][r]);
+      os << "," << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 std::string Series::ascii_plot(int width, int height, bool log_y) const {

@@ -22,8 +22,14 @@ class Table {
   static std::string num(double v, int precision = 4);
   static std::string sci(double v, int precision = 3);
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data_rows() const { return rows_; }
+
   std::string render() const;
   void print() const;  // render() to stdout
+  // RFC-4180-style CSV (header row first; cells quoted when needed).
+  std::string to_csv() const;
 
  private:
   std::string title_;
@@ -44,8 +50,13 @@ class Series {
   std::size_t rows() const { return x_.size(); }
   const std::vector<double>& x() const { return x_; }
   const std::vector<double>& column(std::size_t i) const { return cols_.at(i); }
+  const std::string& title() const { return title_; }
+  const std::string& x_label() const { return x_label_; }
+  const std::vector<std::string>& labels() const { return labels_; }
 
   std::string render(int precision = 6) const;
+  // CSV with %.17g values (round-trips doubles exactly).
+  std::string to_csv() const;
   void print(int precision = 6) const;
   // Coarse ASCII plot, optionally with log10 y-axis (for BER curves).
   std::string ascii_plot(int width = 64, int height = 20, bool log_y = false) const;

@@ -1,0 +1,203 @@
+#include "runner/cli.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "runner/parallel.hpp"
+#include "runner/registry.hpp"
+#include "runner/sink.hpp"
+
+namespace uwbams::runner {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: uwbams_run [options] [scenario ...]\n"
+    "\n"
+    "  --list            list registered scenarios and exit\n"
+    "  --all             run every registered scenario\n"
+    "  --group=G         with --list/--all: restrict to a group\n"
+    "                    (bench | ablation | example)\n"
+    "  --scale=S         workload tier: fast | default | full\n"
+    "  --jobs=N          worker threads for sweeps (0 = all cores)\n"
+    "  --seed=N          base seed for the scenario's sweeps\n"
+    "  --out=DIR         write CSV/JSON artifacts under DIR/<scenario>/\n"
+    "  --help            this text\n"
+    "\n"
+    "The UWBAMS_FAST / UWBAMS_FULL environment variables are still honored\n"
+    "when --scale is absent, but are deprecated.\n";
+
+// Accepts "--key=value" or "--key value". Returns 1 on match (value in
+// *value, *i advanced for the two-token form), 0 on no match, -1 when the
+// key matched but no value followed.
+int match_value_flag(const char* const* argv, int argc, int* i,
+                     const std::string& key, std::string* value) {
+  const std::string arg = argv[*i];
+  if (arg.rfind(key + "=", 0) == 0) {
+    *value = arg.substr(key.size() + 1);
+    return 1;
+  }
+  if (arg == key) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "uwbams_run: %s needs a value\n", key.c_str());
+      return -1;
+    }
+    *value = argv[++*i];
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool parse_cli(int argc, const char* const* argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    int m;
+    if (arg == "--help" || arg == "-h") {
+      out->help = true;
+    } else if (arg == "--list") {
+      out->list = true;
+    } else if (arg == "--all") {
+      out->all = true;
+    } else if ((m = match_value_flag(argv, argc, &i, "--group", &value)) != 0) {
+      if (m < 0) return false;
+      out->group = value;
+    } else if ((m = match_value_flag(argv, argc, &i, "--scale", &value)) != 0) {
+      if (m < 0) return false;
+      if (!parse_scale(value, &out->scale)) {
+        std::fprintf(stderr,
+                     "uwbams_run: bad --scale '%s' (fast|default|full)\n",
+                     value.c_str());
+        return false;
+      }
+      out->scale_set = true;
+    } else if ((m = match_value_flag(argv, argc, &i, "--jobs", &value)) != 0) {
+      if (m < 0) return false;
+      try {
+        out->jobs = std::stoi(value);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "uwbams_run: bad --jobs '%s'\n", value.c_str());
+        return false;
+      }
+      if (out->jobs < 0) {
+        std::fprintf(stderr, "uwbams_run: --jobs must be >= 0\n");
+        return false;
+      }
+    } else if ((m = match_value_flag(argv, argc, &i, "--seed", &value)) != 0) {
+      if (m < 0) return false;
+      try {
+        out->seed = std::stoull(value);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "uwbams_run: bad --seed '%s'\n", value.c_str());
+        return false;
+      }
+    } else if ((m = match_value_flag(argv, argc, &i, "--out", &value)) != 0) {
+      if (m < 0) return false;
+      out->out_dir = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "uwbams_run: unknown option '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return false;
+    } else {
+      out->scenarios.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  CliOptions opt;
+  if (!parse_cli(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  auto& registry = ScenarioRegistry::instance();
+
+  if (opt.list) {
+    std::printf("%-28s %-10s %s\n", "NAME", "GROUP", "TITLE");
+    for (const Scenario* s : registry.list(opt.group))
+      std::printf("%-28s %-10s %s\n", s->info.name.c_str(),
+                  s->info.group.c_str(), s->info.title.c_str());
+    return 0;
+  }
+
+  // Resolve scale: flag > deprecated env vars > default.
+  if (!opt.scale_set) {
+    Scale env_scale;
+    if (scale_from_env(&env_scale)) {
+      std::fprintf(stderr,
+                   "uwbams_run: warning: UWBAMS_FAST/UWBAMS_FULL are "
+                   "deprecated; use --scale=%s\n",
+                   to_string(env_scale));
+      opt.scale = env_scale;
+    }
+  }
+
+  // Select scenarios.
+  std::vector<const Scenario*> selected;
+  if (opt.all) {
+    selected = registry.list(opt.group);
+    if (selected.empty()) {
+      std::fprintf(stderr, "uwbams_run: no scenarios in group '%s'\n",
+                   opt.group.c_str());
+      return 2;
+    }
+  } else {
+    for (const auto& name : opt.scenarios) {
+      const Scenario* s = registry.find(name);
+      if (s == nullptr) {
+        std::fprintf(stderr,
+                     "uwbams_run: unknown scenario '%s' (try --list)\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(s);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "uwbams_run: nothing to run\n%s", kUsage);
+    return 2;
+  }
+
+  ParallelRunner pool(opt.jobs);
+  int failures = 0;
+  for (const Scenario* s : selected) {
+    std::printf("=== %s — %s (scale: %s, jobs: %d) ===\n\n",
+                s->info.name.c_str(), s->info.title.c_str(),
+                to_string(opt.scale), pool.jobs());
+    std::fflush(stdout);
+
+    ResultSink sink(s->info.name, opt.out_dir);
+    RunContext ctx{s->info.name, opt.scale, pool.jobs(), opt.seed, sink, pool};
+    const auto t0 = std::chrono::steady_clock::now();
+    int status = 0;
+    try {
+      status = s->fn(ctx);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "uwbams_run: scenario '%s' failed: %s\n",
+                   s->info.name.c_str(), e.what());
+      status = 1;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    sink.metric("scale", std::string(to_string(opt.scale)));
+    sink.finish(status, wall);
+    if (status != 0) ++failures;
+    std::printf("\n--- %s: %s in %.2f s%s ---\n\n", s->info.name.c_str(),
+                status == 0 ? "ok" : "FAILED", wall,
+                sink.dir().empty()
+                    ? ""
+                    : (" (artifacts: " + sink.dir() + ")").c_str());
+    std::fflush(stdout);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace uwbams::runner

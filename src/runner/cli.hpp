@@ -1,0 +1,40 @@
+// cli.hpp — the uwbams_run command-line driver.
+//
+//   uwbams_run --list [--group=bench]
+//   uwbams_run fig6_ber --scale=fast --jobs=8 --out=results/
+//   uwbams_run --all --scale=fast
+//
+// Scale resolution order: --scale flag, then the deprecated UWBAMS_FAST /
+// UWBAMS_FULL environment variables (with a warning), then "default".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+
+namespace uwbams::runner {
+
+struct CliOptions {
+  bool help = false;
+  bool list = false;
+  bool all = false;
+  std::string group;             // filter for --list / --all
+  Scale scale = Scale::kDefault;
+  bool scale_set = false;        // true when --scale was given
+  int jobs = 1;                  // 0 = hardware concurrency
+  std::uint64_t seed = 1;
+  std::string out_dir;           // empty = stdout only
+  std::vector<std::string> scenarios;
+};
+
+// Parses argv into `out`. Returns false (with a message on stderr) on
+// malformed input.
+bool parse_cli(int argc, const char* const* argv, CliOptions* out);
+
+// Full driver: parse, resolve scale, select scenarios, run them.
+// Returns a process exit code.
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace uwbams::runner

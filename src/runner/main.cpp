@@ -1,0 +1,6 @@
+// uwbams_run — the single CLI over every registered scenario.
+#include "runner/cli.hpp"
+
+int main(int argc, char** argv) {
+  return uwbams::runner::run_cli(argc, argv);
+}

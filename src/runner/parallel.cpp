@@ -1,0 +1,52 @@
+#include "runner/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace uwbams::runner {
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+}
+
+void ParallelRunner::for_each(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace uwbams::runner

@@ -1,0 +1,41 @@
+#include "runner/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uwbams::runner {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioInfo info, ScenarioFn fn) {
+  if (find(info.name) != nullptr)
+    throw std::logic_error("duplicate scenario name: " + info.name);
+  scenarios_.push_back({std::move(info), std::move(fn)});
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_)
+    if (s.info.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list(
+    const std::string& group) const {
+  std::vector<const Scenario*> out;
+  for (const auto& s : scenarios_)
+    if (group.empty() || s.info.group == group) out.push_back(&s);
+  std::sort(out.begin(), out.end(), [](const Scenario* a, const Scenario* b) {
+    if (a->info.group != b->info.group) return a->info.group < b->info.group;
+    return a->info.name < b->info.name;
+  });
+  return out;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(ScenarioInfo info, ScenarioFn fn) {
+  ScenarioRegistry::instance().add(std::move(info), std::move(fn));
+}
+
+}  // namespace uwbams::runner

@@ -1,0 +1,98 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "base/random.hpp"
+
+namespace uwbams::runner {
+
+const char* to_string(Scale scale) {
+  switch (scale) {
+    case Scale::kFast: return "fast";
+    case Scale::kDefault: return "default";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+bool parse_scale(const std::string& text, Scale* out) {
+  std::string s = text;
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (s == "fast") *out = Scale::kFast;
+  else if (s == "default") *out = Scale::kDefault;
+  else if (s == "full") *out = Scale::kFull;
+  else return false;
+  return true;
+}
+
+bool scale_from_env(Scale* out) {
+  if (std::getenv("UWBAMS_FAST") != nullptr) {
+    *out = Scale::kFast;
+    return true;
+  }
+  if (std::getenv("UWBAMS_FULL") != nullptr) {
+    *out = Scale::kFull;
+    return true;
+  }
+  return false;
+}
+
+ScenarioSpec& ScenarioSpec::axis(std::string axis_name,
+                                 std::vector<double> values) {
+  if (values.empty())
+    throw std::invalid_argument("ScenarioSpec: axis '" + axis_name +
+                                "' needs at least one value");
+  for (const auto& a : axes_)
+    if (a.name == axis_name)
+      throw std::invalid_argument("ScenarioSpec: duplicate axis '" +
+                                  axis_name + "'");
+  axes_.push_back({std::move(axis_name), std::move(values)});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::repetitions(int n) {
+  if (n < 1)
+    throw std::invalid_argument("ScenarioSpec: repetitions must be >= 1");
+  repetitions_ = n;
+  return *this;
+}
+
+std::size_t ScenarioSpec::grid_size() const {
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.values.size();
+  return n;
+}
+
+SweepPoint ScenarioSpec::point(std::size_t i) const {
+  if (i >= point_count())
+    throw std::out_of_range("ScenarioSpec::point: index out of range");
+  SweepPoint pt;
+  pt.index = i;
+  // Row-major: repetition is the innermost (fastest) dimension, then the
+  // last declared axis, and so on outward.
+  std::size_t rem = i;
+  pt.repetition = static_cast<int>(rem % static_cast<std::size_t>(repetitions_));
+  rem /= static_cast<std::size_t>(repetitions_);
+  pt.params.resize(axes_.size());
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const SweepAxis& ax = axes_[a];
+    pt.params[a] = {ax.name, ax.values[rem % ax.values.size()]};
+    rem /= ax.values.size();
+  }
+  pt.seed = base::derive_seed(sys_.seed, pt.index);
+  return pt;
+}
+
+std::vector<SweepPoint> ScenarioSpec::points() const {
+  std::vector<SweepPoint> out;
+  const std::size_t n = point_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(point(i));
+  return out;
+}
+
+}  // namespace uwbams::runner

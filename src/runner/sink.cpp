@@ -1,0 +1,153 @@
+#include "runner/sink.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace uwbams::runner {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // JSON has no inf/nan literals; encode them as strings.
+  std::string s = buf;
+  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos)
+    return "\"" + s + "\"";
+  return s;
+}
+
+}  // namespace
+
+ResultSink::ResultSink(std::string scenario, std::string out_dir)
+    : scenario_(std::move(scenario)), out_dir_(std::move(out_dir)) {}
+
+std::string ResultSink::dir() const {
+  if (out_dir_.empty()) return "";
+  return (std::filesystem::path(out_dir_) / scenario_).string();
+}
+
+void ResultSink::note(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cout << text << "\n" << std::flush;
+}
+
+void ResultSink::notef(const char* fmt, ...) {
+  char buf[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  note(buf);
+}
+
+void ResultSink::write_artifact(const std::string& artifact,
+                                const std::string& ext,
+                                const std::string& content) {
+  if (out_dir_.empty() || artifact.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::filesystem::path d(dir());
+  std::filesystem::create_directories(d);
+  const std::string filename =
+      artifact.find('.') == std::string::npos ? artifact + ext : artifact;
+  const std::filesystem::path path = d / filename;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write artifact: " + path.string());
+  out << content;
+  artifacts_.push_back(filename);
+}
+
+void ResultSink::table(const base::Table& t, const std::string& artifact) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cout << t.render() << std::flush;
+  }
+  write_artifact(artifact, ".csv", t.to_csv());
+}
+
+void ResultSink::series(const base::Series& s, const std::string& artifact,
+                        int print_precision, bool print_rows) {
+  if (print_rows) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cout << s.render(print_precision) << std::flush;
+  }
+  write_artifact(artifact, ".csv", s.to_csv());
+}
+
+void ResultSink::plot(const base::Series& s, int width, int height,
+                      bool log_y) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cout << s.ascii_plot(width, height, log_y) << std::flush;
+}
+
+void ResultSink::trace(const base::Trace& t, const std::string& artifact) {
+  write_artifact(artifact, ".csv", t.to_csv());
+}
+
+void ResultSink::metric(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.emplace_back(key, json_number(value));
+}
+
+void ResultSink::metric(const std::string& key, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.emplace_back(key, std::to_string(value));
+}
+
+void ResultSink::metric(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void ResultSink::finish(int status, double wall_seconds) {
+  if (out_dir_.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::filesystem::path d(dir());
+  std::filesystem::create_directories(d);
+  std::ofstream out(d / "summary.json");
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(scenario_) << "\",\n";
+  out << "  \"status\": " << status << ",\n";
+  out << "  \"wall_seconds\": " << json_number(wall_seconds) << ",\n";
+  out << "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out << (i ? "," : "") << "\n    \"" << json_escape(metrics_[i].first)
+        << "\": " << metrics_[i].second;
+  }
+  out << (metrics_.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"artifacts\": [";
+  for (std::size_t i = 0; i < artifacts_.size(); ++i) {
+    out << (i ? "," : "") << "\n    \"" << json_escape(artifacts_[i]) << "\"";
+  }
+  out << (artifacts_.empty() ? "" : "\n  ") << "]\n";
+  out << "}\n";
+}
+
+}  // namespace uwbams::runner

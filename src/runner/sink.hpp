@@ -1,0 +1,70 @@
+// sink.hpp — structured result collection for scenarios.
+//
+// Replaces the benches' raw printf output with one object that (a) still
+// narrates to stdout so interactive runs read like the old benches, and
+// (b) when an output directory is given, emits machine-readable artifacts:
+// one CSV per table/series/trace plus a summary.json with scalar metrics —
+// the layer sweep post-processing and CI gates consume.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/table.hpp"
+#include "base/trace.hpp"
+
+namespace uwbams::runner {
+
+class ResultSink {
+ public:
+  // `out_dir` empty = stdout only (no files). Otherwise artifacts land in
+  // <out_dir>/<scenario>/, created on demand.
+  ResultSink(std::string scenario, std::string out_dir);
+
+  // Narrative line to stdout (replaces printf in scenario bodies).
+  void note(const std::string& text);
+  // printf-style convenience.
+  void notef(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  // Prints the table and, with an output dir, writes <artifact>.csv.
+  // Empty artifact name = print only.
+  void table(const base::Table& t, const std::string& artifact = "");
+  // Prints the series rows and optionally writes <artifact>.csv.
+  void series(const base::Series& s, const std::string& artifact = "",
+              int print_precision = 6, bool print_rows = true);
+  // ASCII plot to stdout only (shape checks in CI logs).
+  void plot(const base::Series& s, int width = 64, int height = 20,
+            bool log_y = false);
+  // Waveform CSV artifact (not printed; traces are long).
+  void trace(const base::Trace& t, const std::string& artifact);
+
+  // Scalar results for summary.json.
+  void metric(const std::string& key, double value);
+  void metric(const std::string& key, std::uint64_t value);
+  void metric(const std::string& key, const std::string& value);
+
+  // Called by the CLI driver once the scenario returns: writes
+  // summary.json (when an output dir is set).
+  void finish(int status, double wall_seconds);
+
+  const std::string& scenario() const { return scenario_; }
+  // <out_dir>/<scenario>, or "" when running stdout-only.
+  std::string dir() const;
+  const std::vector<std::string>& artifacts() const { return artifacts_; }
+
+ private:
+  void write_artifact(const std::string& artifact, const std::string& ext,
+                      const std::string& content);
+
+  std::string scenario_;
+  std::string out_dir_;
+  std::vector<std::string> artifacts_;
+  // key -> already-rendered JSON value.
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::mutex mu_;
+};
+
+}  // namespace uwbams::runner

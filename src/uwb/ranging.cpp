@@ -128,13 +128,7 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
 TwrResult TwoWayRanging::run() {
   TwrResult res;
   for (int i = 0; i < cfg_.iterations; ++i) {
-    const std::uint64_t channel_seed =
-        cfg_.fresh_channel_per_iteration
-            ? cfg_.sys.seed + static_cast<std::uint64_t>(i) * 1000003ull
-            : cfg_.sys.seed;
-    const std::uint64_t noise_seed =
-        cfg_.sys.seed + 17 + static_cast<std::uint64_t>(i) * 7919ull;
-    TwrIteration it = run_iteration(channel_seed, noise_seed);
+    TwrIteration it = run_iteration(cfg_.channel_seed(i), cfg_.noise_seed(i));
     if (!it.ok) ++res.failures;
     res.iterations.push_back(it);
   }

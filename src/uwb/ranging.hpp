@@ -8,6 +8,7 @@
 // the paper's mixed-level simulations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "base/stats.hpp"
@@ -42,6 +43,17 @@ struct TwrConfig {
     // effect Table 2 demonstrates.
     // (40 dB keeps acquisition robust; the 8x noise floor sets the jitter)
     noise_psd = 8e-19;
+  }
+
+  // Per-iteration seeds. run() and any parallel fan-out derive them from
+  // here so a sharded run reproduces the serial one bit for bit.
+  std::uint64_t channel_seed(int iteration) const {
+    return fresh_channel_per_iteration
+               ? sys.seed + static_cast<std::uint64_t>(iteration) * 1000003ull
+               : sys.seed;
+  }
+  std::uint64_t noise_seed(int iteration) const {
+    return sys.seed + 17 + static_cast<std::uint64_t>(iteration) * 7919ull;
   }
 };
 
