@@ -15,6 +15,11 @@
 //     see the analog state of the just-completed step.
 //
 // The fixed step matches the paper's solver setup (0.05 ns system runs).
+// The kernel's macro step is also the co-simulation exchange interval: a
+// SpiceBridge with adaptive stepping enabled (TransientOptions::adaptive)
+// sub-steps each macro interval internally under LTE control and lands
+// exactly on the kernel boundary, so block wiring and determinism are
+// unaffected by the embedded solver's step choices.
 #pragma once
 
 #include <cstdint>

@@ -41,8 +41,8 @@ uwb::IntegratorFactory make_integrator_factory(IntegratorKind kind,
     }
     case IntegratorKind::kSpice: {
       const spice::ItdSizing sizing = options.sizing;
-      return [sizing](const double* input) {
-        spice::TransientOptions topts;  // paper solver setup (EPS 1e-6)
+      const spice::TransientOptions topts = options.transient;
+      return [sizing, topts](const double* input) {
         return std::make_unique<uwb::SpiceIntegrator>(input, sizing, topts);
       };
     }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "spice/itd_builder.hpp"
+#include "spice/transient.hpp"
 #include "uwb/config.hpp"
 #include "uwb/integrator.hpp"
 #include "uwb/receiver.hpp"
@@ -32,6 +33,10 @@ struct VariantOptions {
   uwb::TwoPoleParams behavioral;
   // Netlist sizing for the spice variant.
   spice::ItdSizing sizing;
+  // Embedded solver configuration for the spice variant (defaults are the
+  // paper's setup: trapezoidal, EPS 1e-6). Scenarios can enable adaptive
+  // LTE stepping or disable factorization reuse from here.
+  spice::TransientOptions transient;
   bool behavioral_uses_clamp = false;  // paper's model: linear (no clamp)
 };
 

@@ -1,9 +1,10 @@
-// matrix.hpp — dense row-major matrix over double or std::complex<double>.
-//
-// Circuit matrices in this project are small (tens of unknowns: MNA of the
-// 31-transistor integrator plus sources), so a dense representation with
-// partial-pivoting LU (see lu.hpp) is both simpler and faster than a sparse
-// solver at this scale.
+/// @file matrix.hpp
+/// @brief Dense row-major matrix over double or std::complex<double>.
+///
+/// Circuit matrices in this project are small (tens of unknowns: MNA of the
+/// 31-transistor integrator plus sources), so a dense representation with
+/// partial-pivoting LU (see lu.hpp) is both simpler and faster than a sparse
+/// solver at this scale.
 #pragma once
 
 #include <complex>

@@ -8,6 +8,7 @@
 #include "runner/parallel.hpp"
 #include "runner/registry.hpp"
 #include "runner/sink.hpp"
+#include "spice/engine_counters.hpp"
 
 namespace uwbams::runner {
 
@@ -175,6 +176,7 @@ int run_cli(int argc, const char* const* argv) {
 
     ResultSink sink(s->info.name, opt.out_dir);
     RunContext ctx{s->info.name, opt.scale, pool.jobs(), opt.seed, sink, pool};
+    const auto engine0 = spice::engine_counters::snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     int status = 0;
     try {
@@ -187,6 +189,31 @@ int run_cli(int argc, const char* const* argv) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    // Engine work this scenario caused, as a process-counter delta (every
+    // retired TransientSession and OP solve lands here) -> summary.json
+    // `perf` block.
+    const auto engine1 = spice::engine_counters::snapshot();
+    // Deliberately also present top-level in summary.json (same `wall`
+    // value): the perf block is the self-contained engine record CI
+    // tracks, the top-level field is the pre-existing schema.
+    sink.perf("wall_seconds", wall);
+    sink.perf("transient_sessions", engine1.sessions - engine0.sessions);
+    sink.perf("transient_steps", engine1.steps - engine0.steps);
+    sink.perf("accepted_steps", engine1.accepted_steps - engine0.accepted_steps);
+    sink.perf("rejected_steps", engine1.rejected_steps - engine0.rejected_steps);
+    sink.perf("fallback_steps", engine1.fallback_steps - engine0.fallback_steps);
+    sink.perf("newton_iterations",
+              engine1.newton_iterations - engine0.newton_iterations);
+    sink.perf("factorizations", engine1.factorizations - engine0.factorizations);
+    sink.perf("refactorizations",
+              engine1.refactorizations - engine0.refactorizations);
+    sink.perf("solves", engine1.solves - engine0.solves);
+    sink.perf("singular_failures",
+              engine1.singular_failures - engine0.singular_failures);
+    sink.perf("nonconverged_failures",
+              engine1.nonconverged_failures - engine0.nonconverged_failures);
+    sink.perf("op_solves", engine1.op_solves - engine0.op_solves);
+    sink.perf("op_iterations", engine1.op_iterations - engine0.op_iterations);
     sink.metric("scale", std::string(to_string(opt.scale)));
     sink.finish(status, wall);
     if (status != 0) ++failures;

@@ -126,6 +126,21 @@ void ResultSink::metric(const std::string& key, const std::string& value) {
   metrics_.emplace_back(key, "\"" + json_escape(value) + "\"");
 }
 
+void ResultSink::perf(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  perf_.emplace_back(key, json_number(value));
+}
+
+void ResultSink::perf(const std::string& key, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  perf_.emplace_back(key, std::to_string(value));
+}
+
+void ResultSink::raw_artifact(const std::string& filename,
+                              const std::string& content) {
+  write_artifact(filename, "", content);
+}
+
 void ResultSink::finish(int status, double wall_seconds) {
   if (out_dir_.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -142,6 +157,12 @@ void ResultSink::finish(int status, double wall_seconds) {
         << "\": " << metrics_[i].second;
   }
   out << (metrics_.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"perf\": {";
+  for (std::size_t i = 0; i < perf_.size(); ++i) {
+    out << (i ? "," : "") << "\n    \"" << json_escape(perf_[i].first)
+        << "\": " << perf_[i].second;
+  }
+  out << (perf_.empty() ? "" : "\n  ") << "},\n";
   out << "  \"artifacts\": [";
   for (std::size_t i = 0; i < artifacts_.size(); ++i) {
     out << (i ? "," : "") << "\n    \"" << json_escape(artifacts_[i]) << "\"";

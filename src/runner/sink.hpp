@@ -46,6 +46,18 @@ class ResultSink {
   void metric(const std::string& key, std::uint64_t value);
   void metric(const std::string& key, const std::string& value);
 
+  // Engine performance counters for the `perf` block of summary.json
+  // (newton iterations, factorizations, accepted/rejected steps, wall
+  // time...). The CLI driver fills these from the process-wide
+  // spice::engine_counters delta around the scenario body; scenarios can
+  // add their own.
+  void perf(const std::string& key, double value);
+  void perf(const std::string& key, std::uint64_t value);
+
+  // Verbatim artifact (e.g. a pre-rendered JSON report like
+  // BENCH_engine.json). The name is used as the file name as-is.
+  void raw_artifact(const std::string& filename, const std::string& content);
+
   // Called by the CLI driver once the scenario returns: writes
   // summary.json (when an output dir is set).
   void finish(int status, double wall_seconds);
@@ -64,6 +76,7 @@ class ResultSink {
   std::vector<std::string> artifacts_;
   // key -> already-rendered JSON value.
   std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, std::string>> perf_;
   std::mutex mu_;
 };
 

@@ -1,10 +1,11 @@
-// ac.hpp — small-signal AC analysis.
-//
-// Linearizes every device around a committed DC operating point and solves
-// the complex MNA system at each frequency. The stimulus is carried by the
-// AC magnitude/phase of voltage or current sources (set_ac on the source).
-// This is the analysis that regenerates the paper's Fig. 4 (integrator AC
-// response) and feeds the Phase-IV characterization fit.
+/// @file ac.hpp
+/// @brief Small-signal AC analysis.
+///
+/// Linearizes every device around a committed DC operating point and solves
+/// the complex MNA system at each frequency. The stimulus is carried by the
+/// AC magnitude/phase of voltage or current sources (set_ac on the source).
+/// This is the analysis that regenerates the paper's Fig. 4 (integrator AC
+/// response) and feeds the Phase-IV characterization fit.
 #pragma once
 
 #include <complex>
@@ -17,26 +18,26 @@
 namespace uwbams::spice {
 
 struct AcPoint {
-  double freq = 0.0;                  // Hz
-  std::complex<double> value{0.0, 0.0};  // probed differential voltage
+  double freq = 0.0;                  ///< Hz
+  std::complex<double> value{0.0, 0.0};  ///< probed differential voltage
 };
 
 struct AcSweep {
   std::vector<AcPoint> points;
-  // Magnitude in dB at index i.
+  /// Magnitude in dB at index i.
   double mag_db(std::size_t i) const;
-  // Phase in degrees at index i.
+  /// Phase in degrees at index i.
   double phase_deg(std::size_t i) const;
 };
 
-// Runs an AC sweep. `op` must be a converged operating point of `circuit`
-// (use solve_op). The probe is v(probe_p) - v(probe_m).
+/// Runs an AC sweep. `op` must be a converged operating point of `circuit`
+/// (use solve_op). The probe is v(probe_p) - v(probe_m).
 AcSweep run_ac(Circuit& circuit, const std::vector<double>& op,
                std::span<const double> freqs, NodeId probe_p,
                NodeId probe_m = 0);
 
-// Logarithmically spaced frequency grid, `points_per_decade` points per
-// decade from f_start to f_stop inclusive.
+/// Logarithmically spaced frequency grid, `points_per_decade` points per
+/// decade from f_start to f_stop inclusive.
 std::vector<double> log_frequency_grid(double f_start, double f_stop,
                                        int points_per_decade);
 

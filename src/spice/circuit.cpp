@@ -77,6 +77,17 @@ void Circuit::prepare() {
     }
   }
   unknown_count_ = static_cast<std::size_t>(node_unknowns) + branch_count_;
+  // Collect the union of every device's stamp footprint (branch bases are
+  // assigned above, so branch rows land at their final indices) and cache
+  // whether any device needs Newton iteration.
+  pattern_ = std::make_shared<MnaPattern>(unknown_count_);
+  linear_ = true;
+  residual_capable_ = true;
+  for (const auto& d : devices_) {
+    d->footprint(*pattern_);
+    if (d->nonlinear()) linear_ = false;
+    if (!d->supports_residual()) residual_capable_ = false;
+  }
   prepared_ = true;
 }
 

@@ -1,16 +1,17 @@
-// circuit.hpp — netlist container for the transistor-level simulator.
-//
-// A Circuit owns a set of Devices connected at named nodes. Node 0 is
-// ground ("0" or "gnd"). After construction, prepare() assigns each
-// non-ground node a matrix index and each branch-current device (voltage
-// sources, inductors, VCVS) extra unknowns, defining the MNA system:
-//
-//   unknowns = [ v(node 1..N-1), i(branch 0..B-1) ]
-//
-// This module plays the role ELDO plays in the paper: the authors import a
-// "Spice-like netlist" of one block into the system simulation; here the
-// same netlist is solved by spice::TransientSession (see transient.hpp) and
-// wrapped by ams::SpiceBridge.
+/// @file circuit.hpp
+/// @brief Netlist container for the transistor-level simulator.
+///
+/// A Circuit owns a set of Devices connected at named nodes. Node 0 is
+/// ground ("0" or "gnd"). After construction, prepare() assigns each
+/// non-ground node a matrix index and each branch-current device (voltage
+/// sources, inductors, VCVS) extra unknowns, defining the MNA system:
+///
+///   unknowns = [ v(node 1..N-1), i(branch 0..B-1) ]
+///
+/// This module plays the role ELDO plays in the paper: the authors import a
+/// "Spice-like netlist" of one block into the system simulation; here the
+/// same netlist is solved by spice::TransientSession (see transient.hpp) and
+/// wrapped by ams::SpiceBridge.
 #pragma once
 
 #include <memory>
@@ -22,7 +23,7 @@
 
 namespace uwbams::spice {
 
-using NodeId = int;  // 0 is ground
+using NodeId = int;  ///< 0 is ground
 
 class Circuit {
  public:
@@ -30,17 +31,17 @@ class Circuit {
   Circuit(Circuit&&) = default;
   Circuit& operator=(Circuit&&) = default;
 
-  // Returns the node id for `name`, creating it if needed. "0", "gnd" and
-  // "GND" all map to ground. Names are case-insensitive.
+  /// Returns the node id for `name`, creating it if needed. "0", "gnd" and
+  /// "GND" all map to ground. Names are case-insensitive.
   NodeId node(const std::string& name);
-  // Returns the node id, or -1 if no such node exists (never creates).
+  /// Returns the node id, or -1 if no such node exists (never creates).
   NodeId find_node(const std::string& name) const;
   NodeId ground() const { return 0; }
   std::size_t node_count() const { return node_names_.size(); }
   const std::string& node_name(NodeId n) const { return node_names_.at(static_cast<std::size_t>(n)); }
 
-  // Takes ownership of a device; returns a reference to it. Device names
-  // must be unique (case-insensitive).
+  /// Takes ownership of a device; returns a reference to it. Device names
+  /// must be unique (case-insensitive).
   Device& add_device(std::unique_ptr<Device> dev);
 
   template <typename T, typename... Args>
@@ -56,23 +57,34 @@ class Circuit {
   const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
 
   std::size_t device_count() const { return devices_.size(); }
-  // Count devices whose name starts with the given prefix (case-insensitive);
-  // used e.g. to assert the integrate-and-dump cell has exactly 31 MOSFETs.
+  /// Count devices whose name starts with the given prefix (case-insensitive);
+  /// used e.g. to assert the integrate-and-dump cell has exactly 31 MOSFETs.
   std::size_t count_devices_with_prefix(const std::string& prefix) const;
 
-  // Assigns matrix indices. Must be called after the last topology change
-  // and before any analysis. Safe to call repeatedly.
+  /// Assigns matrix indices, collects the union of all device stamp
+  /// footprints and caches circuit linearity. Must be called after the last
+  /// topology change and before any analysis. Safe to call repeatedly.
   void prepare();
   bool prepared() const { return prepared_; }
 
-  // Number of MNA unknowns (node voltages + branch currents).
+  /// Number of MNA unknowns (node voltages + branch currents).
   std::size_t unknown_count() const { return unknown_count_; }
   std::size_t branch_count() const { return branch_count_; }
 
-  // Matrix index of a node: -1 for ground, otherwise in [0, N-2].
+  /// Union of every device's declared stamp footprint; null before
+  /// prepare(). Shared so analysis workspaces can outlive prepare() calls.
+  std::shared_ptr<const MnaPattern> stamp_pattern() const { return pattern_; }
+  /// True when no device is nonlinear — transient analysis then solves each
+  /// step with a single cached factorization and no Newton iteration.
+  bool linear() const { return linear_; }
+  /// True when every device implements Device::residual(), enabling the
+  /// chord (lazy-Jacobian) transient iterations.
+  bool residual_capable() const { return residual_capable_; }
+
+  /// Matrix index of a node: -1 for ground, otherwise in [0, N-2].
   int node_index(NodeId n) const { return static_cast<int>(n) - 1; }
 
-  // Solution accessor: voltage of node `n` in an MNA solution vector.
+  /// Solution accessor: voltage of node `n` in an MNA solution vector.
   double voltage_in(const std::vector<double>& x, NodeId n) const;
 
  private:
@@ -84,6 +96,9 @@ class Circuit {
   std::unordered_map<std::string, std::size_t> device_ids_;
   std::size_t unknown_count_ = 0;
   std::size_t branch_count_ = 0;
+  std::shared_ptr<MnaPattern> pattern_;
+  bool linear_ = true;
+  bool residual_capable_ = true;
   bool prepared_ = false;
 };
 

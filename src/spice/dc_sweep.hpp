@@ -1,10 +1,11 @@
-// dc_sweep.hpp — DC transfer-curve analysis.
-//
-// Sweeps a named voltage source and records probe voltages at each
-// converged operating point (warm-started from the previous one). Used by
-// the characterization flow to trace the I&D input transfer curve (the DC
-// input linear range of the paper's §4) and by device-level tests for
-// MOSFET I-V curves.
+/// @file dc_sweep.hpp
+/// @brief DC transfer-curve analysis.
+///
+/// Sweeps a named voltage source and records probe voltages at each
+/// converged operating point (warm-started from the previous one). Used by
+/// the characterization flow to trace the I&D input transfer curve (the DC
+/// input linear range of the paper's §4) and by device-level tests for
+/// MOSFET I-V curves.
 #pragma once
 
 #include <string>
@@ -17,24 +18,24 @@ namespace uwbams::spice {
 
 struct DcSweepPoint {
   double source_value = 0.0;
-  std::vector<double> probes;  // one entry per requested probe pair
+  std::vector<double> probes;  ///< one entry per requested probe pair
   bool converged = false;
 };
 
 struct DcProbe {
   NodeId positive = 0;
-  NodeId negative = 0;  // ground for single-ended probes
+  NodeId negative = 0;  ///< ground for single-ended probes
 };
 
-// Sweeps `source_name` over [start, stop] in `steps` increments.
+/// Sweeps `source_name` over [start, stop] in `steps` increments.
 std::vector<DcSweepPoint> run_dc_sweep(Circuit& circuit,
                                        const std::string& source_name,
                                        double start, double stop, int steps,
                                        const std::vector<DcProbe>& probes,
                                        const OpOptions& options = {});
 
-// Convenience: differential small-signal gain of probe 0 around the sweep
-// midpoint, by central difference.
+/// Convenience: differential small-signal gain of probe 0 around the sweep
+/// midpoint, by central difference.
 double dc_gain_at_midpoint(const std::vector<DcSweepPoint>& sweep);
 
 }  // namespace uwbams::spice

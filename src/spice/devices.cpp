@@ -1,6 +1,7 @@
 #include "spice/devices.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "base/units.hpp"
@@ -15,12 +16,24 @@ const complex<double> kJ{0.0, 1.0};
 // ---------------------------------------------------------------- Resistor
 
 Resistor::Resistor(std::string name, int n1, int n2, double ohms)
-    : Device(std::move(name)), a_(mna_index(n1)), b_(mna_index(n2)), ohms_(ohms) {
+    : Device(std::move(name)), a_(mna_index(n1)), b_(mna_index(n2)), ohms_(ohms),
+      g_(1.0 / ohms) {
   if (ohms_ <= 0.0) throw std::invalid_argument("Resistor: non-positive value");
 }
 
 void Resistor::stamp(Mna<double>& mna, const StampArgs&) const {
-  mna.stamp_conductance(a_, b_, 1.0 / ohms_);
+  mna.stamp_conductance(a_, b_, g_);
+}
+
+void Resistor::footprint(MnaPattern& pattern) const {
+  pattern.add_block({a_, b_});
+}
+
+void Resistor::residual(std::vector<double>& f, const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const double i = g_ * (v_at(x, a_) - v_at(x, b_));
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += i;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= i;
 }
 
 void Resistor::stamp_ac(Mna<complex<double>>& mna, const std::vector<double>&,
@@ -39,10 +52,25 @@ Capacitor::Capacitor(std::string name, int n1, int n2, double farads)
 void Capacitor::stamp(Mna<double>& mna, const StampArgs& args) const {
   if (args.mode == AnalysisMode::kOp) return;  // open in DC
   const bool trap = args.method == Integrator::kTrapezoidal;
-  const double geq = (trap ? 2.0 : 1.0) * farads_ / args.dt;
+  const double geq = (trap ? 2.0 : 1.0) * farads_ * args.inv_dt;
   const double ieq = trap ? (-geq * v_prev_ - i_prev_) : (-geq * v_prev_);
   mna.stamp_conductance(a_, b_, geq);
   mna.stamp_current(a_, b_, ieq);
+}
+
+void Capacitor::footprint(MnaPattern& pattern) const {
+  pattern.add_block({a_, b_});
+}
+
+void Capacitor::residual(std::vector<double>& f, const StampArgs& args) const {
+  if (args.mode == AnalysisMode::kOp) return;  // open in DC
+  const std::vector<double>& x = *args.x;
+  const bool trap = args.method == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * farads_ * args.inv_dt;
+  const double ieq = trap ? (-geq * v_prev_ - i_prev_) : (-geq * v_prev_);
+  const double i = geq * (v_at(x, a_) - v_at(x, b_)) + ieq;
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += i;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= i;
 }
 
 void Capacitor::stamp_ac(Mna<complex<double>>& mna, const std::vector<double>&,
@@ -82,10 +110,31 @@ void Inductor::stamp(Mna<double>& mna, const StampArgs& args) const {
     return;
   }
   const bool trap = args.method == Integrator::kTrapezoidal;
-  const double req = (trap ? 2.0 : 1.0) * henries_ / args.dt;
+  const double req = (trap ? 2.0 : 1.0) * henries_ * args.inv_dt;
   mna.add(ib, ib, -req);
   const double rhs = trap ? (-req * i_prev_ - v_prev_) : (-req * i_prev_);
   mna.add_rhs(ib, rhs);
+}
+
+void Inductor::footprint(MnaPattern& pattern) const {
+  pattern.add_block({a_, b_, branch_base()});
+}
+
+void Inductor::residual(std::vector<double>& f, const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const int ib = branch_base();
+  const double i_br = v_at(x, ib);
+  const double vab = v_at(x, a_) - v_at(x, b_);
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += i_br;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= i_br;
+  if (args.mode == AnalysisMode::kOp) {
+    f[static_cast<std::size_t>(ib)] += vab;  // short in DC
+    return;
+  }
+  const bool trap = args.method == Integrator::kTrapezoidal;
+  const double req = (trap ? 2.0 : 1.0) * henries_ * args.inv_dt;
+  const double rhs = trap ? (-req * i_prev_ - v_prev_) : (-req * i_prev_);
+  f[static_cast<std::size_t>(ib)] += vab - req * i_br - rhs;
 }
 
 void Inductor::stamp_ac(Mna<complex<double>>& mna, const std::vector<double>&,
@@ -190,6 +239,38 @@ double Waveform::value(double t) const {
   return 0.0;
 }
 
+double Waveform::next_edge(double t) const {
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (kind_) {
+    case Kind::kDc:
+    case Kind::kSin:
+      return inf;
+    case Kind::kPulse: {
+      const double td = p_[2], tr = p_[3], tf = p_[4], pw = p_[5], per = p_[6];
+      // Slope corners of one period, relative to the delayed origin.
+      const double corners[4] = {0.0, tr, tr + pw, tr + pw + tf};
+      // Candidate edges in the current and the next period.
+      double base = td;
+      if (per > 0.0 && t > td)
+        base = td + std::floor((t - td) / per) * per;
+      for (int cycle = 0; cycle < 2; ++cycle) {
+        for (double c : corners) {
+          const double edge = base + cycle * (per > 0.0 ? per : 0.0) + c;
+          if (edge > t * (1.0 + 1e-12) + 1e-18) return edge;
+        }
+        if (per <= 0.0) break;
+      }
+      return inf;
+    }
+    case Kind::kPwl: {
+      for (double tc : pwl_t_)
+        if (tc > t * (1.0 + 1e-12) + 1e-18) return tc;
+      return inf;
+    }
+  }
+  return inf;
+}
+
 // ----------------------------------------------------------- VoltageSource
 
 VoltageSource::VoltageSource(std::string name, int n1, int n2, Waveform wf,
@@ -215,6 +296,32 @@ void VoltageSource::stamp(Mna<double>& mna, const StampArgs& args) const {
   mna.add_rhs(ib, value(t) * args.source_scale);
 }
 
+void VoltageSource::footprint(MnaPattern& pattern) const {
+  const int ib = branch_base();
+  pattern.add(a_, ib);
+  pattern.add(b_, ib);
+  pattern.add(ib, a_);
+  pattern.add(ib, b_);
+}
+
+double VoltageSource::next_break(double t) const {
+  // Under an external override the waveform is not being played.
+  if (has_override_) return std::numeric_limits<double>::infinity();
+  return wf_.next_edge(t);
+}
+
+void VoltageSource::residual(std::vector<double>& f,
+                             const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const int ib = branch_base();
+  const double i_br = v_at(x, ib);
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += i_br;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= i_br;
+  const double t = args.mode == AnalysisMode::kOp ? 0.0 : args.t;
+  f[static_cast<std::size_t>(ib)] +=
+      v_at(x, a_) - v_at(x, b_) - value(t) * args.source_scale;
+}
+
 void VoltageSource::stamp_ac(Mna<complex<double>>& mna,
                              const std::vector<double>&, double) const {
   const int ib = branch_base();
@@ -238,6 +345,23 @@ void CurrentSource::stamp(Mna<double>& mna, const StampArgs& args) const {
   mna.stamp_current(a_, b_, wf_.value(t) * args.source_scale);
 }
 
+void CurrentSource::footprint(MnaPattern& pattern) const {
+  // Pure RHS stamp; declare the diagonal of both terminals so a current
+  // source alone never leaves a structurally empty matrix row.
+  pattern.add(a_, a_);
+  pattern.add(b_, b_);
+}
+
+double CurrentSource::next_break(double t) const { return wf_.next_edge(t); }
+
+void CurrentSource::residual(std::vector<double>& f,
+                             const StampArgs& args) const {
+  const double t = args.mode == AnalysisMode::kOp ? 0.0 : args.t;
+  const double cur = wf_.value(t) * args.source_scale;
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += cur;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= cur;
+}
+
 void CurrentSource::stamp_ac(Mna<complex<double>>& mna,
                              const std::vector<double>&, double) const {
   mna.stamp_current(a_, b_, complex<double>{ac_mag_, 0.0});
@@ -257,6 +381,26 @@ void Vcvs::stamp(Mna<double>& mna, const StampArgs&) const {
   mna.add(ib, b_, -1.0);
   mna.add(ib, ca_, -gain_);
   mna.add(ib, cb_, gain_);
+}
+
+void Vcvs::residual(std::vector<double>& f, const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const int ib = branch_base();
+  const double i_br = v_at(x, ib);
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += i_br;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= i_br;
+  f[static_cast<std::size_t>(ib)] += v_at(x, a_) - v_at(x, b_) -
+                                     gain_ * (v_at(x, ca_) - v_at(x, cb_));
+}
+
+void Vcvs::footprint(MnaPattern& pattern) const {
+  const int ib = branch_base();
+  pattern.add(a_, ib);
+  pattern.add(b_, ib);
+  pattern.add(ib, a_);
+  pattern.add(ib, b_);
+  pattern.add(ib, ca_);
+  pattern.add(ib, cb_);
 }
 
 void Vcvs::stamp_ac(Mna<complex<double>>& mna, const std::vector<double>&,
@@ -281,6 +425,20 @@ void Vccs::stamp(Mna<double>& mna, const StampArgs&) const {
   mna.add(a_, cb_, -gm_);
   mna.add(b_, ca_, -gm_);
   mna.add(b_, cb_, gm_);
+}
+
+void Vccs::residual(std::vector<double>& f, const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const double i = gm_ * (v_at(x, ca_) - v_at(x, cb_));
+  if (a_ >= 0) f[static_cast<std::size_t>(a_)] += i;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] -= i;
+}
+
+void Vccs::footprint(MnaPattern& pattern) const {
+  pattern.add(a_, ca_);
+  pattern.add(a_, cb_);
+  pattern.add(b_, ca_);
+  pattern.add(b_, cb_);
 }
 
 void Vccs::stamp_ac(Mna<complex<double>>& mna, const std::vector<double>&,

@@ -1,0 +1,80 @@
+#include "spice/engine_counters.hpp"
+
+#include <atomic>
+
+#include "spice/transient.hpp"
+
+namespace uwbams::spice::engine_counters {
+
+namespace {
+
+struct Counters {
+  std::atomic<std::uint64_t> sessions{0};
+  std::atomic<std::uint64_t> steps{0};
+  std::atomic<std::uint64_t> accepted_steps{0};
+  std::atomic<std::uint64_t> rejected_steps{0};
+  std::atomic<std::uint64_t> fallback_steps{0};
+  std::atomic<std::uint64_t> newton_iterations{0};
+  std::atomic<std::uint64_t> factorizations{0};
+  std::atomic<std::uint64_t> refactorizations{0};
+  std::atomic<std::uint64_t> solves{0};
+  std::atomic<std::uint64_t> singular_failures{0};
+  std::atomic<std::uint64_t> nonconverged_failures{0};
+  std::atomic<std::uint64_t> op_solves{0};
+  std::atomic<std::uint64_t> op_iterations{0};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+}  // namespace
+
+EngineCounterSnapshot snapshot() {
+  Counters& c = counters();
+  EngineCounterSnapshot s;
+  s.sessions = c.sessions.load(std::memory_order_relaxed);
+  s.steps = c.steps.load(std::memory_order_relaxed);
+  s.accepted_steps = c.accepted_steps.load(std::memory_order_relaxed);
+  s.rejected_steps = c.rejected_steps.load(std::memory_order_relaxed);
+  s.fallback_steps = c.fallback_steps.load(std::memory_order_relaxed);
+  s.newton_iterations = c.newton_iterations.load(std::memory_order_relaxed);
+  s.factorizations = c.factorizations.load(std::memory_order_relaxed);
+  s.refactorizations = c.refactorizations.load(std::memory_order_relaxed);
+  s.solves = c.solves.load(std::memory_order_relaxed);
+  s.singular_failures = c.singular_failures.load(std::memory_order_relaxed);
+  s.nonconverged_failures =
+      c.nonconverged_failures.load(std::memory_order_relaxed);
+  s.op_solves = c.op_solves.load(std::memory_order_relaxed);
+  s.op_iterations = c.op_iterations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void add_transient(const TransientStats& stats) {
+  Counters& c = counters();
+  c.sessions.fetch_add(1, std::memory_order_relaxed);
+  c.steps.fetch_add(stats.steps, std::memory_order_relaxed);
+  c.accepted_steps.fetch_add(stats.accepted_steps, std::memory_order_relaxed);
+  c.rejected_steps.fetch_add(stats.rejected_steps, std::memory_order_relaxed);
+  c.fallback_steps.fetch_add(stats.fallback_steps, std::memory_order_relaxed);
+  c.newton_iterations.fetch_add(stats.newton_iterations,
+                                std::memory_order_relaxed);
+  c.factorizations.fetch_add(stats.factorizations, std::memory_order_relaxed);
+  c.refactorizations.fetch_add(stats.refactorizations,
+                               std::memory_order_relaxed);
+  c.solves.fetch_add(stats.solves, std::memory_order_relaxed);
+  c.singular_failures.fetch_add(stats.singular_failures,
+                                std::memory_order_relaxed);
+  c.nonconverged_failures.fetch_add(stats.nonconverged_failures,
+                                    std::memory_order_relaxed);
+}
+
+void add_op(int iterations) {
+  Counters& c = counters();
+  c.op_solves.fetch_add(1, std::memory_order_relaxed);
+  c.op_iterations.fetch_add(static_cast<std::uint64_t>(iterations > 0 ? iterations : 0),
+                            std::memory_order_relaxed);
+}
+
+}  // namespace uwbams::spice::engine_counters

@@ -1,26 +1,27 @@
-// itd_builder.hpp — the paper's Integrate & Dump cell (Fig. 3), 31 MOSFETs.
-//
-// Fully differential current-mode Gm-C integrator in a 0.18 um 1.8 V flow:
-//
-//   * input stage: nMOS-LV source followers (aspect ratio ~20) with resistive
-//     degeneration; the differential input current is limited to +/- Ib,
-//     which produces the ~100 mV DC linear input range the paper reports;
-//   * current mirrors: pMOS mirror ratio ~2 ("mirrored and amplified into
-//     the output stage"), plus a unit pMOS / 1.8x nMOS path that returns the
-//     opposite-phase current, giving an effective Gm ~ 62 uS;
-//   * no cascodes in the output stage (paper: 1.6 V output swing), so the
-//     output resistance and the 1 pF load set the low-frequency pole near
-//     0.9 MHz and a DC gain near 21 dB;
-//   * CMFB: resistive output sensing into a pMOS differential pair whose
-//     mirrored current drives nMOS correction sinks at the outputs;
-//   * integration switches: two transmission gates (Controlp, with an
-//     on-cell inverter for the pMOS gates) plus an nMOS reset switch
-//     (Controlm) across the integration capacitor;
-//   * two auto-biasing networks (R + diode for Vbias1; a stacked diode
-//     string for the CMFB reference).
-//
-// Interface nodes use the paper's exact terminal names:
-//   Inp, Inm, Controlp, Controlm, Vdd, Gnd(0), Out_intp, Out_intm.
+/// @file itd_builder.hpp
+/// @brief The paper's Integrate & Dump cell (Fig. 3), 31 MOSFETs.
+///
+/// Fully differential current-mode Gm-C integrator in a 0.18 um 1.8 V flow:
+///
+///   * input stage: nMOS-LV source followers (aspect ratio ~20) with resistive
+///     degeneration; the differential input current is limited to +/- Ib,
+///     which produces the ~100 mV DC linear input range the paper reports;
+///   * current mirrors: pMOS mirror ratio ~2 ("mirrored and amplified into
+///     the output stage"), plus a unit pMOS / 1.8x nMOS path that returns the
+///     opposite-phase current, giving an effective Gm ~ 62 uS;
+///   * no cascodes in the output stage (paper: 1.6 V output swing), so the
+///     output resistance and the 1 pF load set the low-frequency pole near
+///     0.9 MHz and a DC gain near 21 dB;
+///   * CMFB: resistive output sensing into a pMOS differential pair whose
+///     mirrored current drives nMOS correction sinks at the outputs;
+///   * integration switches: two transmission gates (Controlp, with an
+///     on-cell inverter for the pMOS gates) plus an nMOS reset switch
+///     (Controlm) across the integration capacitor;
+///   * two auto-biasing networks (R + diode for Vbias1; a stacked diode
+///     string for the CMFB reference).
+///
+/// Interface nodes use the paper's exact terminal names:
+///   Inp, Inm, Controlp, Controlm, Vdd, Gnd(0), Out_intp, Out_intm.
 #pragma once
 
 #include <string>
@@ -29,70 +30,70 @@
 
 namespace uwbams::spice {
 
-// All tunable elements of the cell. Defaults implement the sizing plan
-// described above; core::characterize extracts the achieved gain and poles.
+/// All tunable elements of the cell. Defaults implement the sizing plan
+/// described above; core::characterize extracts the achieved gain and poles.
 struct ItdSizing {
-  double vdd = 1.8;          // supply [V]
-  double c_int = 1e-12;      // integration capacitor [F] (paper: 1 pF)
-  double r_deg = 46.8e3;     // input degeneration resistor [ohm]
-  double r_bias = 748e3;     // Vbias1 network resistor [ohm]
-  double r_sense = 95e3;     // CMFB sense resistors [ohm]
-  double r_cm_anchor = 20e3; // sense midpoint to Vref (CM recovery path)
-  double r_tail = 188e3;     // CMFB tail resistor [ohm]
-  double c_cmfb = 200e-15;   // CMFB compensation capacitor [F]
+  double vdd = 1.8;          ///< supply [V]
+  double c_int = 1e-12;      ///< integration capacitor [F] (paper: 1 pF)
+  double r_deg = 46.8e3;     ///< input degeneration resistor [ohm]
+  double r_bias = 748e3;     ///< Vbias1 network resistor [ohm]
+  double r_sense = 95e3;     ///< CMFB sense resistors [ohm]
+  double r_cm_anchor = 20e3; ///< sense midpoint to Vref (CM recovery path)
+  double r_tail = 188e3;     ///< CMFB tail resistor [ohm]
+  double c_cmfb = 200e-15;   ///< CMFB compensation capacitor [F]
 
-  // Input followers (nmos_lv), aspect ratio ~20.
+  /// Input followers (nmos_lv), aspect ratio ~20.
   double w_in = 3.6e-6, l_in = 0.18e-6;
-  // Follower current sinks + bias diode (nmos), ~1.7 uA each.
+  /// Follower current sinks + bias diode (nmos), ~1.7 uA each.
   double w_sink = 0.36e-6, l_sink = 0.18e-6;
-  // pMOS mirror diodes / 2x outputs / unit second path.
+  /// pMOS mirror diodes / 2x outputs / unit second path.
   double w_pdiode = 0.24e-6, l_pdiode = 0.18e-6;
-  double w_pmir2 = 0.48e-6;   // 2x mirror ("aspect ratio of about 2")
-  double w_pmir1 = 0.24e-6;   // unit mirror into the nMOS path
-  // nMOS second-mirror diodes and 1.8x outputs.
+  double w_pmir2 = 0.48e-6;   ///< 2x mirror ("aspect ratio of about 2")
+  double w_pmir1 = 0.24e-6;   ///< unit mirror into the nMOS path
+  /// nMOS second-mirror diodes and 1.8x outputs.
   double w_ndiode = 0.24e-6, l_ndiode = 0.18e-6;
   double w_nmir = 0.432e-6;
-  // CMFB devices.
+  /// CMFB devices.
   double w_cm_pair = 0.72e-6, l_cm_pair = 0.36e-6;
   double w_cm_diode = 0.36e-6, l_cm_diode = 0.18e-6;
   double w_cm_sink = 0.24e-6, l_cm_sink = 0.30e-6;
-  // Vref stack.
+  /// Vref stack.
   double w_ref_p = 0.24e-6, l_ref_p = 3.2e-6;
   double w_ref_n = 0.26e-6, l_ref_n = 0.18e-6;
-  // Switches and control inverter. The reset device is sized wide so the
-  // dump completes within a few ns (its overdrive is body-effect limited).
-  double w_tg_n = 2.0e-6, w_tg_p = 0.6e-6, l_tg = 0.18e-6;  // charge-balanced (Qp ~ Qn at the on-state overdrives)
+  /// Switches and control inverter. The reset device is sized wide so the
+  /// dump completes within a few ns (its overdrive is body-effect limited).
+  double w_tg_n = 2.0e-6, w_tg_p = 0.6e-6, l_tg = 0.18e-6;  ///< charge-balanced (Qp ~ Qn at the on-state overdrives)
   double w_rst = 2.0e-6, l_rst = 0.18e-6;
   double w_inv_n = 0.36e-6, w_inv_p = 0.72e-6, l_inv = 0.18e-6;
 };
 
-// Interface node ids of a built cell.
+/// Interface node ids of a built cell.
 struct ItdTerminals {
   NodeId inp = -1, inm = -1;
   NodeId controlp = -1, controlm = -1;
   NodeId vdd = -1;
   NodeId out_intp = -1, out_intm = -1;
-  // OTA outputs before the switches (useful probes).
+  /// OTA outputs before the switches (useful probes).
   NodeId outp = -1, outm = -1;
 };
 
-// Builds the cell into `circuit` (top level, no name prefix) and returns the
-// interface nodes. The cell contains exactly 31 MOSFETs.
+/// Builds the cell into `circuit` (top level, no name prefix) and returns the
+/// interface nodes. The cell contains exactly 31 MOSFETs.
 ItdTerminals build_integrate_and_dump(Circuit& circuit,
                                       const ItdSizing& sizing = {});
 
-// Builds the complete standalone testbench used by the characterization and
-// the Fig. 4 / Fig. 5 benches: the cell plus Vdd / control / input sources.
-// Input sources are named "vinp"/"vinm" (drive via TransientSession::source
-// or set_ac), controls "vctrlp"/"vctrlm".
+/// Builds the complete standalone testbench used by the characterization and
+/// the Fig. 4 / Fig. 5 benches: the cell plus Vdd / control / input sources.
+/// Input sources are named "vinp"/"vinm" (drive via TransientSession::source
+/// or set_ac), controls "vctrlp"/"vctrlm".
 struct ItdTestbench {
   ItdTerminals t;
-  double input_cm = 0.9;  // DC common mode applied to Inp/Inm
+  double input_cm = 0.9;  ///< DC common mode applied to Inp/Inm
 };
 ItdTestbench build_itd_testbench(Circuit& circuit, const ItdSizing& sizing = {});
 
-// Path of the equivalent text netlist shipped in circuits/ (same topology,
-// parsed through the SPICE-dialect front end).
+/// Path of the equivalent text netlist shipped in circuits/ (same topology,
+/// parsed through the SPICE-dialect front end).
 std::string itd_netlist_path();
 
 }  // namespace uwbams::spice

@@ -1,44 +1,137 @@
-// mna.hpp — Modified Nodal Analysis matrix assembly.
-//
-// Mna<double> carries the real system solved during OP and transient Newton
-// iterations; Mna<std::complex<double>> carries the small-signal AC system.
-// Ground (index -1) contributions are silently dropped, which keeps device
-// stamp code free of special cases.
+/// @file mna.hpp
+/// @brief Modified Nodal Analysis matrix assembly.
+///
+/// `Mna<double>` carries the real system solved during OP and transient
+/// Newton iterations; `Mna<std::complex<double>>` carries the small-signal
+/// AC system. Ground (index -1) contributions are silently dropped, which
+/// keeps device stamp code free of special cases.
+///
+/// **Fast path.** An `Mna` can be *structure-locked* to an `MnaPattern`
+/// (the union of every device's stamp footprint, collected once by
+/// `Circuit::prepare()`). A locked workspace is reused across Newton
+/// iterations and time steps: `reset()` zeros only the structural nonzeros
+/// and the RHS instead of the whole dense matrix, and no storage is ever
+/// reallocated. The same pattern seeds `linalg::LuFactor`'s symbolic
+/// elimination, so refactorizations skip structural zeros too.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 
 namespace uwbams::spice {
 
+/// Structural footprint of a set of device stamps on an MNA system.
+///
+/// Devices report every matrix entry they may ever touch through
+/// `Device::footprint()`; the pattern must be a superset of all later
+/// `Mna::add()` targets (ground indices are dropped symmetrically, so stamp
+/// code and footprint code can share index arithmetic).
+class MnaPattern {
+ public:
+  /// Pattern for an MNA system with n unknowns.
+  explicit MnaPattern(std::size_t n) : pattern_(n) {}
+
+  /// Number of unknowns.
+  std::size_t size() const { return pattern_.size(); }
+
+  /// Declares entry (i, j) as potentially stamped. Ground (< 0) is dropped.
+  void add(int i, int j) {
+    if (i < 0 || j < 0) return;
+    pattern_.add(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+
+  /// Declares the full cross product of `nodes` (the footprint of a device
+  /// that couples every listed terminal with every other, e.g. a MOSFET).
+  void add_block(std::initializer_list<int> nodes) {
+    for (int i : nodes)
+      for (int j : nodes) add(i, j);
+  }
+
+  /// Declares every entry (fallback for devices with no precise footprint).
+  void add_dense() { pattern_.fill(); }
+
+  /// True if (i, j) was declared (ground always counts as covered).
+  bool contains(int i, int j) const {
+    if (i < 0 || j < 0) return true;
+    return pattern_.contains(static_cast<std::size_t>(i),
+                             static_cast<std::size_t>(j));
+  }
+
+  /// The linalg-layer view consumed by `LuFactor::factor()`.
+  const linalg::SparsityPattern& sparsity() const { return pattern_; }
+
+ private:
+  linalg::SparsityPattern pattern_;
+};
+
+/// Assembled MNA system: matrix A and right-hand side b of A x = b.
 template <typename T>
 class Mna {
  public:
+  /// Unlocked workspace of n unknowns (dense clear()).
   explicit Mna(std::size_t n) : a_(n, n), b_(n, T{}) {}
 
+  /// Workspace structure-locked to `pattern` (enables sparse reset()).
+  /// The entry list is copied; the pattern need not outlive the Mna.
+  explicit Mna(const MnaPattern& pattern)
+      : a_(pattern.size(), pattern.size()), b_(pattern.size(), T{}) {
+    lock(pattern);
+  }
+
+  /// Number of unknowns.
   std::size_t size() const { return b_.size(); }
 
+  /// Locks the workspace to `pattern`: reset() will zero only the declared
+  /// entries from now on. Stamps outside the pattern are a logic error in
+  /// the device's footprint() (covered by tests, not checked at runtime).
+  void lock(const MnaPattern& pattern) {
+    const std::size_t n = size();
+    entries_.clear();
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        if (pattern.sparsity().contains(r, c))
+          entries_.push_back(static_cast<std::uint32_t>(r * n + c));
+  }
+
+  /// True when lock() has recorded a structural pattern.
+  bool locked() const { return !entries_.empty(); }
+
+  /// Dense zeroing of A and b (always correct, O(n^2)).
   void clear() {
     a_.fill(T{});
     for (auto& v : b_) v = T{};
   }
 
-  // A(i,j) += g. Negative indices refer to ground and are dropped.
+  /// Sparse-aware zeroing: only the locked structural entries of A (plus
+  /// the whole RHS) are cleared. Falls back to clear() when unlocked.
+  void reset() {
+    if (entries_.empty()) {
+      clear();
+      return;
+    }
+    T* data = a_.row_ptr(0);
+    for (std::uint32_t e : entries_) data[e] = T{};
+    for (auto& v : b_) v = T{};
+  }
+
+  /// A(i,j) += g. Negative indices refer to ground and are dropped.
   void add(int i, int j, T g) {
     if (i < 0 || j < 0) return;
     a_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) += g;
   }
 
-  // b(i) += v.
+  /// b(i) += v. Ground (< 0) is dropped.
   void add_rhs(int i, T v) {
     if (i < 0) return;
     b_[static_cast<std::size_t>(i)] += v;
   }
 
-  // Conductance g between nodes i and j (standard two-terminal stamp).
+  /// Conductance g between nodes i and j (standard two-terminal stamp).
   void stamp_conductance(int i, int j, T g) {
     add(i, i, g);
     add(j, j, g);
@@ -46,20 +139,25 @@ class Mna {
     add(j, i, -g);
   }
 
-  // Current I flowing from node i to node j (into j).
+  /// Current I flowing from node i to node j (into j).
   void stamp_current(int i, int j, T current) {
     add_rhs(i, -current);
     add_rhs(j, current);
   }
 
+  /// The assembled matrix A.
   linalg::Matrix<T>& matrix() { return a_; }
+  /// The assembled matrix A (const).
   const linalg::Matrix<T>& matrix() const { return a_; }
+  /// The assembled right-hand side b.
   std::vector<T>& rhs() { return b_; }
+  /// The assembled right-hand side b (const).
   const std::vector<T>& rhs() const { return b_; }
 
  private:
   linalg::Matrix<T> a_;
   std::vector<T> b_;
+  std::vector<std::uint32_t> entries_;  // flat offsets of structural nonzeros
 };
 
 }  // namespace uwbams::spice

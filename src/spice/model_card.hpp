@@ -1,9 +1,10 @@
-// model_card.hpp — MOSFET model parameter cards.
-//
-// A Level-1 (Shichman–Hodges) parameter set with Meyer capacitances. The
-// built-in cards approximate a 0.18 um mixed-mode 1.8 V CMOS process of the
-// class the paper uses (UMC 0.18 um), including the low-threshold (LV)
-// device flavors the integrator exploits for overdrive headroom.
+/// @file model_card.hpp
+/// @brief MOSFET model parameter cards.
+///
+/// A Level-1 (Shichman–Hodges) parameter set with Meyer capacitances. The
+/// built-in cards approximate a 0.18 um mixed-mode 1.8 V CMOS process of the
+/// class the paper uses (UMC 0.18 um), including the low-threshold (LV)
+/// device flavors the integrator exploits for overdrive headroom.
 #pragma once
 
 #include <string>
@@ -13,25 +14,25 @@ namespace uwbams::spice {
 struct MosModel {
   std::string name = "nmos";
   bool is_pmos = false;
-  double vt0 = 0.45;      // zero-bias threshold voltage [V] (negative for PMOS)
-  double kp = 280e-6;     // transconductance parameter u0*Cox [A/V^2]
-  double gamma = 0.45;    // body-effect coefficient [sqrt(V)]
-  double phi = 0.85;      // surface potential [V]
-  double lambda = 0.08;   // channel-length modulation [1/V]
-  double tox = 4.1e-9;    // gate oxide thickness [m]
-  double ld = 0.01e-6;    // lateral diffusion [m]
-  double cgso = 3.1e-10;  // G-S overlap capacitance per width [F/m]
-  double cgdo = 3.1e-10;  // G-D overlap capacitance per width [F/m]
-  double cgbo = 1.0e-10;  // G-B overlap capacitance per length [F/m]
-  double cj = 1.0e-3;     // junction capacitance per area [F/m^2]
-  double ldiff = 0.48e-6; // source/drain diffusion length [m] (for Cj area)
+  double vt0 = 0.45;      ///< zero-bias threshold voltage [V] (negative for PMOS)
+  double kp = 280e-6;     ///< transconductance parameter u0*Cox [A/V^2]
+  double gamma = 0.45;    ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.85;      ///< surface potential [V]
+  double lambda = 0.08;   ///< channel-length modulation [1/V]
+  double tox = 4.1e-9;    ///< gate oxide thickness [m]
+  double ld = 0.01e-6;    ///< lateral diffusion [m]
+  double cgso = 3.1e-10;  ///< G-S overlap capacitance per width [F/m]
+  double cgdo = 3.1e-10;  ///< G-D overlap capacitance per width [F/m]
+  double cgbo = 1.0e-10;  ///< G-B overlap capacitance per length [F/m]
+  double cj = 1.0e-3;     ///< junction capacitance per area [F/m^2]
+  double ldiff = 0.48e-6; ///< source/drain diffusion length [m] (for Cj area)
 
-  // Oxide capacitance per area [F/m^2].
+  /// Oxide capacitance per area [F/m^2].
   double cox() const;
 };
 
-// Built-in 0.18 um-class cards: "nmos", "pmos", "nmos_lv", "pmos_lv".
-// Throws std::invalid_argument for unknown names.
+/// Built-in 0.18 um-class cards: "nmos", "pmos", "nmos_lv", "pmos_lv".
+/// Throws std::invalid_argument for unknown names.
 MosModel builtin_model(const std::string& name);
 
 }  // namespace uwbams::spice

@@ -13,6 +13,22 @@ Mosfet::Mosfet(std::string name, int d, int g, int s, int b, MosModel model,
       s_(mna_index(s)), b_(mna_index(b)), model_(std::move(model)),
       width_(width), length_(length) {
   cap_nodes_ = {{{g_, s_}, {g_, d_}, {g_, b_}, {d_, b_}, {s_, b_}}};
+  leff_ = std::max(length_ - 2.0 * model_.ld, 1e-8);
+  beta_ = model_.kp * width_ / leff_;
+  vt0_abs_ = std::abs(model_.vt0);
+  sqrt_phi_ = std::sqrt(model_.phi);
+  cox_tot_ = model_.cox() * width_ * leff_;
+  ovl_s_ = model_.cgso * width_;
+  ovl_d_ = model_.cgdo * width_;
+  ovl_b_ = model_.cgbo * length_;
+  cj_ = model_.cj * width_ * model_.ldiff;
+}
+
+void Mosfet::footprint(MnaPattern& pattern) const {
+  // The conductance/current stamp couples all four terminals in either
+  // drain/source orientation; the Meyer/junction companions and the gmin
+  // shunt stay within the same 4x4 block.
+  pattern.add_block({d_, g_, s_, b_});
 }
 
 MosEval Mosfet::evaluate(double vd, double vg, double vs, double vb) const {
@@ -32,12 +48,10 @@ MosEval Mosfet::evaluate(double vd, double vg, double vs, double vb) const {
   // Body effect: clamp the forward-bias case to keep sqrt well-defined.
   const double phi = model_.phi;
   const double sq_arg = std::max(phi - vbs, 0.02);
-  const double dvth = model_.gamma * (std::sqrt(sq_arg) - std::sqrt(phi));
-  const double vt0 = std::abs(model_.vt0);
-  e.vth = vt0 + dvth;
+  const double dvth = model_.gamma * (std::sqrt(sq_arg) - sqrt_phi_);
+  e.vth = vt0_abs_ + dvth;
 
-  const double leff = std::max(length_ - 2.0 * model_.ld, 1e-8);
-  const double beta = model_.kp * width_ / leff;
+  const double beta = beta_;
   const double vov = vgs - e.vth;
   const double lam = model_.lambda;
   const double dvth_dvbs = -model_.gamma / (2.0 * std::sqrt(sq_arg));
@@ -77,6 +91,9 @@ void Mosfet::stamp(Mna<double>& mna, const StampArgs& args) const {
   const double p = model_.is_pmos ? -1.0 : 1.0;
 
   // Effective drain/source after symmetry swap (in actual node terms).
+  // Direct sequential adds measure faster here than accumulating into a
+  // local 4x4 block: the variable drain/source slots defeat register
+  // allocation of the block and the flush branches mispredict.
   const bool swapped = p * (vd - vs) < 0.0;
   const int nd = swapped ? s_ : d_;
   const int ns = swapped ? d_ : s_;
@@ -99,54 +116,138 @@ void Mosfet::stamp(Mna<double>& mna, const StampArgs& args) const {
   mna.add(ns, ns, e.gm + e.gds + e.gmb);
 
   const double ieq = p * e.ids - e.gm * (vg - vse) - e.gds * (vde - vse) -
-                     e.gmb * (v_at(x, b_) - vse);
+                     e.gmb * (vb - vse);
   mna.stamp_current(nd, ns, ieq);
 
   // gmin shunt keeps off devices from isolating nodes.
   if (args.gmin > 0.0) mna.stamp_conductance(d_, s_, args.gmin);
 
   // Meyer + junction capacitances, linear companions frozen at the last
-  // committed solution (refreshed in commit()/init_state()).
+  // committed solution (refreshed in commit()/init_state()). Always
+  // backward Euler: see the CapState comment in the header.
   if (args.mode == AnalysisMode::kTransient) {
     for (std::size_t k = 0; k < caps_.size(); ++k) {
-      stamp_cap_companion(mna, cap_nodes_[k].first, cap_nodes_[k].second,
-                          caps_[k], args);
+      const CapState& cs = caps_[k];
+      if (cs.c <= 0.0) continue;
+      const double geq = cs.c * args.inv_dt;
+      const int i = cap_nodes_[k].first, j = cap_nodes_[k].second;
+      mna.stamp_conductance(i, j, geq);
+      mna.stamp_current(i, j, -geq * cs.v_prev);
     }
   }
 }
 
-void Mosfet::stamp_cap_companion(Mna<double>& mna, int i, int j,
-                                 const CapState& cs, const StampArgs& args) {
-  if (cs.c <= 0.0) return;
-  // Always backward Euler: see the CapState comment in the header.
-  const double geq = cs.c / args.dt;
-  mna.stamp_conductance(i, j, geq);
-  mna.stamp_current(i, j, -geq * cs.v_prev);
+double Mosfet::ids_effective(double vds, double vgs, double vbs) const {
+  const double sq_arg = std::max(model_.phi - vbs, 0.02);
+  const double vth = vt0_abs_ + model_.gamma * (std::sqrt(sq_arg) - sqrt_phi_);
+  const double vov = vgs - vth;
+  if (vov <= 0.0) return 0.0;
+  const double clm = 1.0 + model_.lambda * vds;
+  if (vds < vov) return beta_ * (vov * vds - 0.5 * vds * vds) * clm;
+  return 0.5 * beta_ * vov * vov * clm;
+}
+
+void Mosfet::residual(std::vector<double>& f, const StampArgs& args) const {
+  const std::vector<double>& x = *args.x;
+  const double vd = v_at(x, d_), vg = v_at(x, g_), vs = v_at(x, s_),
+               vb = v_at(x, b_);
+  const double p = model_.is_pmos ? -1.0 : 1.0;
+  double vds = p * (vd - vs);
+  double vgs = p * (vg - vs);
+  double vbs = p * (vb - vs);
+  bool swapped = false;
+  if (vds < 0.0) {
+    vds = -vds;
+    vgs = p * (vg - vd);
+    vbs = p * (vb - vd);
+    swapped = true;
+  }
+  const double id = p * ids_effective(vds, vgs, vbs);
+
+  // Per-terminal accumulators (registers); one guarded flush at the end.
+  double fd = swapped ? -id : id;
+  double fs = swapped ? id : -id;
+  double fg = 0.0, fb = 0.0;
+
+  if (args.gmin > 0.0) {
+    const double ig = args.gmin * (vd - vs);
+    fd += ig;
+    fs -= ig;
+  }
+
+  if (args.mode == AnalysisMode::kTransient) {
+    // Cap pairs (g,s), (g,d), (g,b), (d,b), (s,b) read only the four
+    // already-loaded terminal voltages.
+    const double inv_dt = args.inv_dt;
+    const CapState* cs = caps_.data();
+    if (cs[0].c > 0.0) {
+      const double ic = cs[0].c * inv_dt * (vg - vs - cs[0].v_prev);
+      fg += ic;
+      fs -= ic;
+    }
+    if (cs[1].c > 0.0) {
+      const double ic = cs[1].c * inv_dt * (vg - vd - cs[1].v_prev);
+      fg += ic;
+      fd -= ic;
+    }
+    if (cs[2].c > 0.0) {
+      const double ic = cs[2].c * inv_dt * (vg - vb - cs[2].v_prev);
+      fg += ic;
+      fb -= ic;
+    }
+    if (cs[3].c > 0.0) {
+      const double ic = cs[3].c * inv_dt * (vd - vb - cs[3].v_prev);
+      fd += ic;
+      fb -= ic;
+    }
+    if (cs[4].c > 0.0) {
+      const double ic = cs[4].c * inv_dt * (vs - vb - cs[4].v_prev);
+      fs += ic;
+      fb -= ic;
+    }
+  }
+
+  if (d_ >= 0) f[static_cast<std::size_t>(d_)] += fd;
+  if (g_ >= 0) f[static_cast<std::size_t>(g_)] += fg;
+  if (s_ >= 0) f[static_cast<std::size_t>(s_)] += fs;
+  if (b_ >= 0) f[static_cast<std::size_t>(b_)] += fb;
+}
+
+MosEval::Region Mosfet::region_at(const std::vector<double>& x) const {
+  const double vd = v_at(x, d_), vg = v_at(x, g_), vs = v_at(x, s_),
+               vb = v_at(x, b_);
+  const double p = model_.is_pmos ? -1.0 : 1.0;
+  double vds = p * (vd - vs);
+  double vgs = p * (vg - vs);
+  double vbs = p * (vb - vs);
+  if (vds < 0.0) {
+    vds = -vds;
+    vgs = p * (vg - vd);
+    vbs = p * (vb - vd);
+  }
+  const double sq_arg = std::max(model_.phi - vbs, 0.02);
+  const double vth =
+      vt0_abs_ + model_.gamma * (std::sqrt(sq_arg) - sqrt_phi_);
+  const double vov = vgs - vth;
+  if (vov <= 0.0) return MosEval::Region::kCutoff;
+  return vds < vov ? MosEval::Region::kTriode : MosEval::Region::kSaturation;
 }
 
 std::array<double, 5> Mosfet::meyer_caps(const std::vector<double>& x) const {
-  const MosEval e = evaluate_at(x);
-  const double leff = std::max(length_ - 2.0 * model_.ld, 1e-8);
-  const double cox_tot = model_.cox() * width_ * leff;
-  const double ovl_s = model_.cgso * width_;
-  const double ovl_d = model_.cgdo * width_;
-  const double ovl_b = model_.cgbo * length_;
-  const double cj = model_.cj * width_ * model_.ldiff;
-
-  double cgs = ovl_s, cgd = ovl_d, cgb = ovl_b;
-  switch (e.region) {
+  double cgs = ovl_s_, cgd = ovl_d_, cgb = ovl_b_;
+  switch (region_at(x)) {
     case MosEval::Region::kCutoff:
-      cgb += cox_tot;
+      cgb += cox_tot_;
       break;
     case MosEval::Region::kSaturation:
-      cgs += (2.0 / 3.0) * cox_tot;
+      cgs += (2.0 / 3.0) * cox_tot_;
       break;
     case MosEval::Region::kTriode:
-      cgs += 0.5 * cox_tot;
-      cgd += 0.5 * cox_tot;
+      cgs += 0.5 * cox_tot_;
+      cgd += 0.5 * cox_tot_;
       break;
   }
-  return {cgs, cgd, cgb, cj, cj};
+  return {cgs, cgd, cgb, cj_, cj_};
 }
 
 void Mosfet::refresh_cap_values(const std::vector<double>& x) {
@@ -163,10 +264,14 @@ void Mosfet::init_state(const std::vector<double>& op) {
 }
 
 void Mosfet::commit(const std::vector<double>& x, double, double) {
-  for (std::size_t k = 0; k < caps_.size(); ++k) {
-    caps_[k].v_prev =
-        v_at(x, cap_nodes_[k].first) - v_at(x, cap_nodes_[k].second);
-  }
+  const double vd = v_at(x, d_), vg = v_at(x, g_), vs = v_at(x, s_),
+               vb = v_at(x, b_);
+  // cap_nodes_ order: (g,s), (g,d), (g,b), (d,b), (s,b).
+  caps_[0].v_prev = vg - vs;
+  caps_[1].v_prev = vg - vd;
+  caps_[2].v_prev = vg - vb;
+  caps_[3].v_prev = vd - vb;
+  caps_[4].v_prev = vs - vb;
   // Region may have changed: recompute Meyer values for the next step.
   refresh_cap_values(x);
 }

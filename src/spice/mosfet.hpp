@@ -1,11 +1,12 @@
-// mosfet.hpp — Level-1 (Shichman–Hodges) MOSFET with Meyer capacitances.
-//
-// The large-signal model covers cutoff / triode / saturation with body
-// effect and channel-length modulation; drain/source are symmetric (swapped
-// internally when vds < 0). Gate capacitances follow the piecewise Meyer
-// model and are evaluated at the last committed solution, so they act as
-// linear companions within each Newton solve — the same simplification
-// classic SPICE Meyer implementations make.
+/// @file mosfet.hpp
+/// @brief Level-1 (Shichman–Hodges) MOSFET with Meyer capacitances.
+///
+/// The large-signal model covers cutoff / triode / saturation with body
+/// effect and channel-length modulation; drain/source are symmetric (swapped
+/// internally when vds < 0). Gate capacitances follow the piecewise Meyer
+/// model and are evaluated at the last committed solution, so they act as
+/// linear companions within each Newton solve — the same simplification
+/// classic SPICE Meyer implementations make.
 #pragma once
 
 #include <array>
@@ -17,12 +18,12 @@
 
 namespace uwbams::spice {
 
-// Static evaluation of the Level-1 equations; exposed for unit tests and
-// for the characterization tools.
+/// Static evaluation of the Level-1 equations; exposed for unit tests and
+/// for the characterization tools.
 struct MosEval {
   enum class Region { kCutoff, kTriode, kSaturation };
   Region region = Region::kCutoff;
-  double ids = 0.0;  // drain current in the *effective* (flipped) frame [A]
+  double ids = 0.0;  ///< drain current in the *effective* (flipped) frame [A]
   double gm = 0.0;
   double gds = 0.0;
   double gmb = 0.0;
@@ -31,12 +32,15 @@ struct MosEval {
 
 class Mosfet final : public Device {
  public:
-  // Nodes are NodeIds (ground = 0): drain, gate, source, bulk.
+  /// Nodes are NodeIds (ground = 0): drain, gate, source, bulk.
   Mosfet(std::string name, int d, int g, int s, int b, MosModel model,
          double width, double length);
 
   bool nonlinear() const override { return true; }
   void stamp(Mna<double>& mna, const StampArgs& args) const override;
+  bool supports_residual() const override { return true; }
+  void residual(std::vector<double>& f, const StampArgs& args) const override;
+  void footprint(MnaPattern& pattern) const override;
   void stamp_ac(Mna<std::complex<double>>& mna, const std::vector<double>& op,
                 double omega) const override;
   void init_state(const std::vector<double>& op) override;
@@ -46,37 +50,52 @@ class Mosfet final : public Device {
   double width() const { return width_; }
   double length() const { return length_; }
 
-  // Level-1 equations at the given terminal voltages (actual node frame).
+  /// Level-1 equations at the given terminal voltages (actual node frame).
   MosEval evaluate(double vd, double vg, double vs, double vb) const;
-  // Evaluation at a solution vector (e.g. an operating point).
+  /// Evaluation at a solution vector (e.g. an operating point).
   MosEval evaluate_at(const std::vector<double>& x) const;
 
   std::string card(const Circuit& circuit) const override;
 
  private:
-  // MOS parasitic capacitances are integrated with backward Euler even when
-  // the global method is trapezoidal: the Meyer model switches capacitance
-  // values at region boundaries, and an undamped trapezoidal companion then
-  // rings at control-signal edges and rectifies the ringing into spurious
-  // charge on floating nodes (observed as common-mode drift of the held
-  // integration capacitor). BE damps the ringing; the fF-scale parasitics
-  // lose no relevant accuracy.
+  /// MOS parasitic capacitances are integrated with backward Euler even when
+  /// the global method is trapezoidal: the Meyer model switches capacitance
+  /// values at region boundaries, and an undamped trapezoidal companion then
+  /// rings at control-signal edges and rectifies the ringing into spurious
+  /// charge on floating nodes (observed as common-mode drift of the held
+  /// integration capacitor). BE damps the ringing; the fF-scale parasitics
+  /// lose no relevant accuracy.
   struct CapState {
-    double c = 0.0;       // capacitance frozen for the current step [F]
-    double v_prev = 0.0;  // committed voltage across the cap
+    double c = 0.0;       ///< capacitance frozen for the current step [F]
+    double v_prev = 0.0;  ///< committed voltage across the cap
   };
 
-  // Meyer capacitance values for the region at solution x.
-  // Order: Cgs, Cgd, Cgb, Cdb, Csb.
+  /// Meyer capacitance values for the region at solution x.
+  /// Order: Cgs, Cgd, Cgb, Cdb, Csb.
   std::array<double, 5> meyer_caps(const std::vector<double>& x) const;
-  static void stamp_cap_companion(Mna<double>& mna, int i, int j,
-                                  const CapState& cs, const StampArgs& args);
+  /// Drain current in the effective (flipped) frame — the ids-only half of
+  /// evaluate(), used by the derivative-free residual() hot path. Must stay
+  /// formula-identical to evaluate().
+  double ids_effective(double vds, double vgs, double vbs) const;
+  /// Operating region at solution x — the first half of evaluate(), without
+  /// the current/conductance math. Kept decision-identical to evaluate() so
+  /// commit()-time cap refreshes stay exact but cheap.
+  MosEval::Region region_at(const std::vector<double>& x) const;
   void refresh_cap_values(const std::vector<double>& x);
 
-  int d_, g_, s_, b_;  // MNA matrix indices
+  int d_, g_, s_, b_;  ///< MNA matrix indices
   MosModel model_;
   double width_, length_;
-  // Cap terminal index pairs, fixed at construction.
+  /// Operating-point-independent values hoisted out of evaluate(), which
+  /// runs once per device per Newton iteration on the transient hot path.
+  double leff_;      ///< effective channel length [m]
+  double beta_;      ///< kp * W / Leff [A/V^2]
+  double vt0_abs_;   ///< |VT0| [V]
+  double sqrt_phi_;  ///< sqrt(phi) [sqrt(V)]
+  double cox_tot_;   ///< total gate oxide capacitance [F]
+  double ovl_s_, ovl_d_, ovl_b_;  ///< overlap capacitances [F]
+  double cj_;        ///< junction capacitance [F]
+  /// Cap terminal index pairs, fixed at construction.
   std::array<std::pair<int, int>, 5> cap_nodes_;
   std::array<CapState, 5> caps_;
 };

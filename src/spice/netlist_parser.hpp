@@ -1,16 +1,17 @@
-// netlist_parser.hpp — SPICE-like text netlist front end.
-//
-// The paper imports the transistor-level I&D block as a "Spice-like netlist"
-// (ELDO) into the system simulation. This parser accepts the same class of
-// netlists and builds a spice::Circuit:
-//
-//   * element cards: R, C, L, V, I, E (VCVS), G (VCCS), M (MOSFET), X (subckt)
-//   * .model (level-1 MOS parameters), .subckt/.ends (flattened on X cards)
-//   * source shapes: DC, PULSE(...), SIN(...), PWL(...), AC mag [phase]
-//   * engineering suffixes: f p n u m k meg g t
-//   * '*' comments, ';' inline comments, '+' continuation lines
-//
-// Unknown cards (e.g. .tran/.end) are ignored so real-world decks load.
+/// @file netlist_parser.hpp
+/// @brief SPICE-like text netlist front end.
+///
+/// The paper imports the transistor-level I&D block as a "Spice-like netlist"
+/// (ELDO) into the system simulation. This parser accepts the same class of
+/// netlists and builds a spice::Circuit:
+///
+///   * element cards: R, C, L, V, I, E (VCVS), G (VCCS), M (MOSFET), X (subckt)
+///   * .model (level-1 MOS parameters), .subckt/.ends (flattened on X cards)
+///   * source shapes: DC, PULSE(...), SIN(...), PWL(...), AC mag [phase]
+///   * engineering suffixes: f p n u m k meg g t
+///   * '*' comments, ';' inline comments, '+' continuation lines
+///
+/// Unknown cards (e.g. .tran/.end) are ignored so real-world decks load.
 #pragma once
 
 #include <string>
@@ -19,14 +20,14 @@
 
 namespace uwbams::spice {
 
-// Parses netlist text into `circuit`. Throws std::invalid_argument with a
-// line-numbered message on malformed cards.
+/// Parses netlist text into `circuit`. Throws std::invalid_argument with a
+/// line-numbered message on malformed cards.
 void parse_netlist(const std::string& text, Circuit& circuit);
 
-// Loads a netlist file (throws std::runtime_error if unreadable).
+/// Loads a netlist file (throws std::runtime_error if unreadable).
 void parse_netlist_file(const std::string& path, Circuit& circuit);
 
-// Parses an engineering-notation value ("1.5k", "0.5u", "10meg", "2.2p").
+/// Parses an engineering-notation value ("1.5k", "0.5u", "10meg", "2.2p").
 double parse_spice_value(const std::string& token);
 
 }  // namespace uwbams::spice

@@ -1,9 +1,10 @@
-// netlist_writer.hpp — emits a Circuit back to netlist text.
-//
-// Completes the round trip with the parser: a circuit built
-// programmatically (e.g. by itd_builder) can be exported, re-parsed and
-// must describe the same system. Useful for debugging generated circuits
-// and for interoperability with external SPICE tools.
+/// @file netlist_writer.hpp
+/// @brief Emits a Circuit back to netlist text.
+///
+/// Completes the round trip with the parser: a circuit built
+/// programmatically (e.g. by itd_builder) can be exported, re-parsed and
+/// must describe the same system. Useful for debugging generated circuits
+/// and for interoperability with external SPICE tools.
 #pragma once
 
 #include <string>
@@ -12,10 +13,10 @@
 
 namespace uwbams::spice {
 
-// Serializes all devices of `circuit` as element cards with inline .model
-// cards for every distinct MOSFET parameter set. Waveform sources are
-// emitted at their DC value (time-dependent shapes are testbench-level
-// concerns; the exported deck is the topology + sizing).
+/// Serializes all devices of `circuit` as element cards with inline .model
+/// cards for every distinct MOSFET parameter set. Waveform sources are
+/// emitted at their DC value (time-dependent shapes are testbench-level
+/// concerns; the exported deck is the topology + sizing).
 std::string write_netlist(const Circuit& circuit,
                           const std::string& title = "exported by uwbams");
 

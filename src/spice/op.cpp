@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/lu.hpp"
+#include "spice/engine_counters.hpp"
 
 namespace uwbams::spice {
 
@@ -79,6 +80,7 @@ OpResult solve_op(Circuit& circuit, const OpOptions& options) {
     res.converged = true;
     res.iterations = iters;
     res.strategy = "newton";
+    engine_counters::add_op(iters);
     return res;
   }
 
@@ -97,6 +99,7 @@ OpResult solve_op(Circuit& circuit, const OpOptions& options) {
       res.converged = true;
       res.iterations = iters;
       res.strategy = "gmin-stepping";
+      engine_counters::add_op(iters);
       return res;
     }
   }
@@ -118,12 +121,14 @@ OpResult solve_op(Circuit& circuit, const OpOptions& options) {
       res.converged = true;
       res.iterations = iters;
       res.strategy = "source-stepping";
+      engine_counters::add_op(iters);
       return res;
     }
   }
 
   res.converged = false;
   res.strategy = "failed";
+  engine_counters::add_op(iters);
   return res;
 }
 

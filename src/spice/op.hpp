@@ -1,9 +1,10 @@
-// op.hpp — DC operating point by damped Newton–Raphson.
-//
-// Matches the solver configuration the paper reports for ELDO runs
-// (Newton/Raphson, accuracy EPS = 1e-6). If plain Newton fails, the solver
-// falls back to gmin stepping, then source stepping — the standard SPICE
-// homotopy ladder.
+/// @file op.hpp
+/// @brief DC operating point by damped Newton–Raphson.
+///
+/// Matches the solver configuration the paper reports for ELDO runs
+/// (Newton/Raphson, accuracy EPS = 1e-6). If plain Newton fails, the solver
+/// falls back to gmin stepping, then source stepping — the standard SPICE
+/// homotopy ladder.
 #pragma once
 
 #include <string>
@@ -15,23 +16,23 @@ namespace uwbams::spice {
 
 struct OpOptions {
   int max_iterations = 200;
-  double vabstol = 1e-6;  // absolute voltage tolerance (paper's EPS)
-  double reltol = 1e-3;   // relative tolerance
-  double gmin = 1e-12;    // final gmin shunt at nonlinear devices
-  double damping = 0.6;   // max voltage update per Newton iteration [V]
-  std::vector<double> initial_guess;  // optional warm start
+  double vabstol = 1e-6;  ///< absolute voltage tolerance (paper's EPS)
+  double reltol = 1e-3;   ///< relative tolerance
+  double gmin = 1e-12;    ///< final gmin shunt at nonlinear devices
+  double damping = 0.6;   ///< max voltage update per Newton iteration [V]
+  std::vector<double> initial_guess;  ///< optional warm start
 };
 
 struct OpResult {
-  std::vector<double> x;  // node voltages then branch currents
+  std::vector<double> x;  ///< node voltages then branch currents
   bool converged = false;
-  int iterations = 0;          // Newton iterations of the final solve
-  std::string strategy;        // "newton", "gmin-stepping", "source-stepping"
+  int iterations = 0;          ///< Newton iterations of the final solve
+  std::string strategy;        ///< "newton", "gmin-stepping", "source-stepping"
 };
 
-// Computes the DC operating point. Throws std::runtime_error only on
-// structural problems (singular matrix with full gmin); a non-converged
-// result is reported through OpResult::converged.
+/// Computes the DC operating point. Throws std::runtime_error only on
+/// structural problems (singular matrix with full gmin); a non-converged
+/// result is reported through OpResult::converged.
 OpResult solve_op(Circuit& circuit, const OpOptions& options = {});
 
 }  // namespace uwbams::spice

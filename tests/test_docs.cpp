@@ -1,0 +1,84 @@
+// Keeps docs/scenarios.md honest: every scenario registered in the binary
+// must be documented (by a `### <name>` heading), and every documented
+// scenario heading must still exist in the registry. Links the same
+// scenario object library as uwbams_run, so the registry here is exactly
+// the CLI's.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "runner/registry.hpp"
+
+#ifndef UWBAMS_DOCS_DIR
+#error "UWBAMS_DOCS_DIR must point at the repo's docs directory"
+#endif
+
+namespace {
+
+using uwbams::runner::ScenarioRegistry;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// `### <name>` headings of docs/scenarios.md.
+std::set<std::string> documented_scenarios(const std::string& text) {
+  std::set<std::string> names;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("### ", 0) != 0) continue;
+    std::string name = line.substr(4);
+    // Strip trailing annotations like "### fig6_ber — Fig. 6".
+    const auto cut = name.find_first_of(" \t");
+    if (cut != std::string::npos) name = name.substr(0, cut);
+    if (!name.empty()) names.insert(name);
+  }
+  return names;
+}
+
+TEST(Docs, ScenariosPageExists) {
+  const std::string text = read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(text.empty()) << "docs/scenarios.md is missing or empty";
+}
+
+TEST(Docs, EveryRegisteredScenarioIsDocumented) {
+  const std::string text = read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(text.empty());
+  const auto documented = documented_scenarios(text);
+  auto& registry = ScenarioRegistry::instance();
+  ASSERT_GT(registry.size(), 0u) << "scenario registrations not linked in";
+  for (const auto* s : registry.list()) {
+    EXPECT_TRUE(documented.count(s->info.name))
+        << "scenario '" << s->info.name
+        << "' is registered but has no `### " << s->info.name
+        << "` section in docs/scenarios.md";
+  }
+}
+
+TEST(Docs, NoStaleScenarioSections) {
+  const std::string text = read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(text.empty());
+  auto& registry = ScenarioRegistry::instance();
+  for (const auto& name : documented_scenarios(text)) {
+    EXPECT_NE(registry.find(name), nullptr)
+        << "docs/scenarios.md documents '" << name
+        << "' which is not a registered scenario";
+  }
+}
+
+TEST(Docs, CorePagesExist) {
+  EXPECT_FALSE(read_file(std::string(UWBAMS_DOCS_DIR) + "/methodology.md").empty())
+      << "docs/methodology.md is missing";
+  EXPECT_FALSE(read_file(std::string(UWBAMS_DOCS_DIR) + "/architecture.md").empty())
+      << "docs/architecture.md is missing";
+}
+
+}  // namespace

@@ -163,4 +163,117 @@ TEST_P(LuRandomComplex, ResidualIsTiny) {
 INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomComplex,
                          ::testing::Values(2, 4, 8, 16, 32, 64));
 
+// ---------------------------------------------------------------------------
+// Workspace API: factor / refactor (pivot reuse) / solve_in_place.
+
+// Random sparse diagonally-dominant matrix with ~`density` off-diagonal
+// fill, plus the pattern describing it.
+RealMatrix random_sparse(base::Rng& rng, int n, double density,
+                         linalg::SparsityPattern* pattern) {
+  RealMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  *pattern = linalg::SparsityPattern(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (r == c) continue;
+      if (rng.uniform(0.0, 1.0) > density) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+      pattern->add(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+      row_sum += std::abs(v);
+    }
+    a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) = row_sum + 1.0;
+    pattern->add(static_cast<std::size_t>(r), static_cast<std::size_t>(r));
+  }
+  return a;
+}
+
+TEST(LuWorkspace, SolveInPlaceMatchesSolve) {
+  base::Rng rng(77);
+  linalg::SparsityPattern pat;
+  const auto a = random_sparse(rng, 12, 0.4, &pat);
+  LuFactor<double> lu;
+  lu.factor(a);
+  std::vector<double> b(12);
+  for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+  const auto x1 = lu.solve(b);
+  auto x2 = b;
+  lu.solve_in_place(x2);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+}
+
+// The acceptance bar from the issue: reused-pivot refactor solutions agree
+// with fresh partial-pivoting LU solutions to 1e-10, across perturbed
+// matrices and with/without a sparsity pattern (the pattern path must
+// reproduce fill-in exactly).
+TEST(LuWorkspace, RefactorMatchesFreshFactorTo1em10) {
+  base::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    linalg::SparsityPattern pat;
+    const int n = 5 + trial;
+    const auto a0 = random_sparse(rng, n, 0.35, &pat);
+    const bool with_pattern = (trial % 2) == 0;
+    LuFactor<double> lu;
+    lu.factor(a0, with_pattern ? &pat : nullptr);
+    for (int rep = 0; rep < 5; ++rep) {
+      // Perturb values only (structure fixed), then refactor with the
+      // frozen pivot order.
+      auto a = a0;
+      for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c) {
+          auto& v = a(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+          if (v != 0.0) v *= 1.0 + 0.05 * rng.uniform(-1.0, 1.0);
+        }
+      ASSERT_TRUE(lu.refactor(a));
+      std::vector<double> b(static_cast<std::size_t>(n));
+      for (auto& v : b) v = rng.uniform(-2.0, 2.0);
+      const auto x_reused = lu.solve(b);
+      const auto x_fresh = linalg::solve(a, b);
+      for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(x_reused[i], x_fresh[i], 1e-10);
+    }
+  }
+}
+
+TEST(LuWorkspace, RefactorDetectsDegradedPivot) {
+  // Factor with a dominant (0,0) pivot, then hand refactor() a matrix whose
+  // natural pivot order is different: the frozen order must be refused.
+  RealMatrix a(2, 2);
+  a(0, 0) = 10.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 10.0;
+  LuFactor<double> lu;
+  lu.factor(a);
+  RealMatrix bad = a;
+  bad(0, 0) = 1e-9;  // pivot collapses relative to the column below
+  EXPECT_FALSE(lu.refactor(bad));
+  EXPECT_FALSE(lu.valid());
+  EXPECT_GT(lu.pivot_ratio(), 1e3);  // degradation ratio is reported
+  // A fresh factorization recovers (different pivot order).
+  lu.factor(bad);
+  EXPECT_TRUE(lu.valid());
+  const auto x = lu.solve({1.0, 2.0});
+  const auto back = bad.multiply(x);
+  EXPECT_NEAR(back[0], 1.0, 1e-9);
+  EXPECT_NEAR(back[1], 2.0, 1e-9);
+}
+
+TEST(LuWorkspace, RefactorRejectsShapeMismatch) {
+  LuFactor<double> lu;
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  EXPECT_FALSE(lu.refactor(a));  // never factored
+  lu.factor(a);
+  RealMatrix b(3, 3);
+  EXPECT_FALSE(lu.refactor(b));  // size change needs a fresh factor
+}
+
+TEST(LuWorkspace, SolveWithoutFactorThrows) {
+  LuFactor<double> lu;
+  std::vector<double> b{1.0};
+  EXPECT_THROW(lu.solve_in_place(b), std::logic_error);
+}
+
 }  // namespace
