@@ -1,6 +1,9 @@
 #include "ams/kernel.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 namespace uwbams::ams {
 
@@ -8,7 +11,10 @@ Kernel::Kernel(double dt) : dt_(dt) {
   if (dt <= 0.0) throw std::invalid_argument("Kernel: dt must be positive");
 }
 
-void Kernel::add_analog(AnalogBlock& block) { analog_.push_back(&block); }
+void Kernel::add_analog(AnalogBlock& block) {
+  analog_.push_back(&block);
+  all_blocks_batch_ = all_blocks_batch_ && block.supports_batch();
+}
 
 void Kernel::schedule(DigitalProcess& process, double t) {
   if (t < t_ - 0.5 * dt_)
@@ -22,11 +28,24 @@ void Kernel::schedule_callback(double t, std::function<void(double)> fn) {
   events_.push(Event{t, seq_++, nullptr, std::move(fn)});
 }
 
+void Kernel::enable_batching(int capacity) {
+  capacity = std::clamp(capacity, 1, kMaxBatch);
+  if (const char* env = std::getenv("UWBAMS_BATCH_CAP"))
+    capacity = std::clamp(std::atoi(env), 1, kMaxBatch);
+  if (const char* env = std::getenv("UWBAMS_FORCE_SCALAR"))
+    if (env[0] == '1') capacity = 1;
+  batch_capacity_ = capacity;
+  batch_hist_.assign(static_cast<std::size_t>(kMaxBatch) + 1, 0);
+}
+
 void Kernel::fire_due_events() {
   // Events due within the current step boundary fire now. The small epsilon
-  // absorbs floating-point drift of t over millions of steps.
+  // absorbs floating-point drift of t over millions of steps. The top event
+  // is moved out (not copied): its std::function payload can be heap-heavy,
+  // and the heap's sift-down compares only (t, seq), which moving leaves
+  // intact.
   while (!events_.empty() && events_.top().t <= t_ + 0.25 * dt_) {
-    Event ev = events_.top();
+    Event ev = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
     if (ev.process != nullptr)
       ev.process->wake(*this, t_);
@@ -43,7 +62,35 @@ void Kernel::step() {
 }
 
 void Kernel::run_until(double t_stop) {
-  while (t_ < t_stop - 0.5 * dt_) step();
+  if (!batching_active()) {
+    while (t_ < t_stop - 0.5 * dt_) step();
+    return;
+  }
+  // Batched path: fire due events, then advance the longest run of samples
+  // that reaches neither the next due event nor t_stop nor the capacity.
+  // The admission test per candidate sample is exactly the per-sample
+  // path's fire condition, and the sample times are built with the same
+  // repeated addition, so every digital event fires at the identical
+  // sample boundary it would on the scalar path.
+  const double due_eps = 0.25 * dt_;
+  const double stop = t_stop - 0.5 * dt_;
+  while (t_ < stop) {
+    fire_due_events();
+    int n = 0;
+    double tt = t_;
+    while (n < batch_capacity_ && tt < stop &&
+           !(!events_.empty() && events_.top().t <= tt + due_eps)) {
+      batch_times_[static_cast<std::size_t>(n++)] = tt;
+      tt += dt_;
+    }
+    // n >= 1 always: fire_due_events() just drained everything due at t_
+    // (re-checking top() after each pop, so events scheduled during a
+    // wake() are covered), and the outer condition guarantees t_ < stop.
+    for (AnalogBlock* b : analog_) b->step_block(batch_times_.data(), dt_, n);
+    t_ = tt;
+    steps_ += static_cast<std::uint64_t>(n);
+    ++batch_hist_[static_cast<std::size_t>(n)];
+  }
 }
 
 }  // namespace uwbams::ams

@@ -1,4 +1,4 @@
-#include "runner/parallel.hpp"
+#include "base/parallel.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -6,7 +6,7 @@
 #include <mutex>
 #include <thread>
 
-namespace uwbams::runner {
+namespace uwbams::base {
 
 ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
   if (jobs_ <= 0) {
@@ -49,4 +49,4 @@ void ParallelRunner::for_each(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-}  // namespace uwbams::runner
+}  // namespace uwbams::base

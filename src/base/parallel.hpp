@@ -1,0 +1,45 @@
+// parallel.hpp — worker pool for embarrassingly parallel sweeps.
+//
+// BER sweeps, Monte-Carlo TWR iterations and ablation grids are independent
+// simulations; ParallelRunner fans them across std::threads. Results are
+// stored by task index, and all seeding happens per task (ScenarioSpec /
+// base::Rng::fork) before execution starts, so the output is identical for
+// any job count — "--jobs=8" is purely a wall-clock knob.
+//
+// Lives in base/ (not runner/) so library-level sweeps like
+// uwb::run_ber_sweep can fan out without depending on the scenario layer;
+// runner/parallel.hpp re-exports the class under its historical name.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace uwbams::base {
+
+class ParallelRunner {
+ public:
+  // jobs <= 0 selects std::thread::hardware_concurrency().
+  explicit ParallelRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  // Runs fn(0) .. fn(n-1) across the pool. Tasks must not depend on each
+  // other. Blocks until all tasks finish; the first exception thrown by a
+  // task is rethrown here (remaining tasks still drain).
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  // Like for_each but collects return values, ordered by task index.
+  template <typename R>
+  std::vector<R> map(std::size_t n,
+                     const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(n);
+    for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace uwbams::base

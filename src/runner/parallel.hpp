@@ -1,41 +1,14 @@
-// parallel.hpp — worker pool for embarrassingly parallel sweeps.
+// parallel.hpp — historical location of the worker pool.
 //
-// BER sweeps, Monte-Carlo TWR iterations and ablation grids are independent
-// simulations; ParallelRunner fans them across std::threads. Results are
-// stored by task index, and all seeding happens per task (ScenarioSpec /
-// base::Rng::fork) before execution starts, so the output is identical for
-// any job count — "--jobs=8" is purely a wall-clock knob.
+// The implementation moved to base/parallel.hpp so library-level sweeps
+// (uwb::run_ber_sweep) can use it without depending on the scenario layer.
+// Scenario code keeps addressing it as runner::ParallelRunner.
 #pragma once
 
-#include <cstddef>
-#include <functional>
-#include <vector>
+#include "base/parallel.hpp"
 
 namespace uwbams::runner {
 
-class ParallelRunner {
- public:
-  // jobs <= 0 selects std::thread::hardware_concurrency().
-  explicit ParallelRunner(int jobs = 1);
-
-  int jobs() const { return jobs_; }
-
-  // Runs fn(0) .. fn(n-1) across the pool. Tasks must not depend on each
-  // other. Blocks until all tasks finish; the first exception thrown by a
-  // task is rethrown here (remaining tasks still drain).
-  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn) const;
-
-  // Like for_each but collects return values, ordered by task index.
-  template <typename R>
-  std::vector<R> map(std::size_t n,
-                     const std::function<R(std::size_t)>& fn) const {
-    std::vector<R> out(n);
-    for_each(n, [&](std::size_t i) { out[i] = fn(i); });
-    return out;
-  }
-
- private:
-  int jobs_;
-};
+using ParallelRunner = base::ParallelRunner;
 
 }  // namespace uwbams::runner

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runner/parallel.hpp"
 #include "uwb/config.hpp"
 
 namespace uwbams::runner {
@@ -153,7 +154,6 @@ class ScenarioSpec {
   int repetitions_ = 1;
 };
 
-class ParallelRunner;
 class ResultSink;
 
 // Everything a scenario body receives: the resolved scale/seed/jobs plus

@@ -31,6 +31,11 @@ struct BerConfig {
   // spikes and the circuit integrator *outperforms* the ideal one at high
   // Eb/N0 (the paper's Fig. 6 crossover).
   double calibration_fraction = 0.12;
+  // Worker threads for the sweep. Every Eb/N0 point owns an independent
+  // GenieLink seeded from the system seed and the point's Eb/N0 value
+  // alone, so the result is bit-identical for any job count (<=1 runs the
+  // points inline on the calling thread).
+  int jobs = 1;
 
   BerConfig() {
     // The 32 ns window covers the pulse burst; with the ~550 MHz noise

@@ -137,17 +137,46 @@ void ChannelBlock::set_distance(double meters) {
   rebuild_taps();
 }
 
+void ChannelBlock::set_input_delay(int samples) {
+  if (samples < 0)
+    throw std::invalid_argument("ChannelBlock: negative input delay");
+  input_delay_ = samples;
+  rebuild_taps();
+}
+
 void ChannelBlock::rebuild_taps() {
+  // Guard for the reconfiguration contract (see header): a rebuild resets
+  // the line, so any waveform still propagating is silently dropped. Only
+  // *live* history counts — the ring slots a tap of the outgoing
+  // configuration could still read (the last max-delay samples); expired
+  // samples awaiting overwrite are not in flight.
+  if (!delay_line_.empty() && !sampled_.empty()) {
+    const std::size_t len = delay_line_.size();
+    std::size_t live = 0;
+    for (const auto& tap : sampled_)
+      live = std::max(live, static_cast<std::size_t>(tap.delay_samples));
+    for (std::size_t k = 1; k <= live; ++k) {
+      if (delay_line_[(write_pos_ + len - k) % len] != 0.0) {
+        ++history_discards_;
+        break;
+      }
+    }
+  }
   const double prop_delay = distance_ / units::speed_of_light;
   sampled_.clear();
   int max_delay = 1;
   for (const auto& t : taps_) {
     const int d =
-        static_cast<int>(std::round((prop_delay + t.delay) / cfg_.dt));
+        static_cast<int>(std::round((prop_delay + t.delay) / cfg_.dt)) +
+        input_delay_;
     sampled_.push_back({d, t.gain * scale_});
     max_delay = std::max(max_delay, d);
   }
-  delay_line_.assign(static_cast<std::size_t>(max_delay + 2), 0.0);
+  // kMaxBatch slots of headroom beyond the longest tap: step_block() writes
+  // the whole batch before any tap reads, and the headroom guarantees those
+  // writes never land on a slot an in-flight tap still needs.
+  delay_line_.assign(
+      static_cast<std::size_t>(max_delay + 2) + ams::kMaxBatch, 0.0);
   write_pos_ = 0;
 }
 
@@ -162,8 +191,45 @@ void ChannelBlock::step(double /*t*/, double /*dt*/) {
   }
   if (n0_ > 0.0)
     acc += rng_.gaussian() * std::sqrt(0.5 * n0_ * cfg_.sample_rate());
-  out_ = acc;
+  out_[0] = acc;
   write_pos_ = (write_pos_ + 1) % n;
+}
+
+void ChannelBlock::step_block(const double* /*t*/, double /*dt*/, int n) {
+  const std::size_t len = delay_line_.size();
+  // Phase 1: write the whole batch into the ring. Tap reads only ever look
+  // backwards (delay >= 0), and the kMaxBatch headroom keeps these writes
+  // clear of every slot a tap can still read, so pre-writing is equivalent
+  // to the per-sample interleaving.
+  {
+    std::size_t w = write_pos_;
+    for (int i = 0; i < n; ++i) {
+      delay_line_[w] = (in_ != nullptr) ? in_[i] : 0.0;
+      if (++w == len) w = 0;
+    }
+  }
+  // Phase 2: accumulate taps. Looping taps outer / samples inner adds each
+  // sample's contributions in the same tap order as the per-sample path, so
+  // the floating-point sums are bit-identical; the ring index advances by
+  // increment-and-wrap instead of a per-read modulo.
+  for (int i = 0; i < n; ++i) out_[i] = 0.0;
+  for (const auto& tap : sampled_) {
+    std::size_t idx =
+        (write_pos_ + len - static_cast<std::size_t>(tap.delay_samples)) % len;
+    const double g = tap.gain;
+    for (int i = 0; i < n; ++i) {
+      out_[i] += g * delay_line_[idx];
+      if (++idx == len) idx = 0;
+    }
+  }
+  // Phase 3: the AWGN draws, one per sample in sample order — the identical
+  // RNG sequence of the per-sample path (the hoisted sqrt is the same value
+  // the scalar expression recomputes).
+  if (n0_ > 0.0) {
+    const double s = std::sqrt(0.5 * n0_ * cfg_.sample_rate());
+    for (int i = 0; i < n; ++i) out_[i] += rng_.gaussian() * s;
+  }
+  write_pos_ = (write_pos_ + static_cast<std::size_t>(n)) % len;
 }
 
 }  // namespace uwbams::uwb

@@ -9,6 +9,7 @@
 // values.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ams/kernel.hpp"
@@ -58,6 +59,14 @@ double path_loss_db(double distance_m, double pl0_db, double exponent);
 
 // Propagation + noise block: delays the transmit waveform by distance/c,
 // convolves with the tap set, adds white Gaussian noise of PSD N0/2.
+//
+// Batch-capable: step_block() writes the whole input batch into the delay
+// line first (the ring keeps kMaxBatch slots of headroom beyond the longest
+// tap so no pending history is overwritten), then accumulates tap
+// contributions per sample in tap order and draws the per-sample Gaussian
+// noise in sample order — the identical operation and RNG sequence of the
+// per-sample path, with the ring-index modulo hoisted out of the inner
+// loops.
 class ChannelBlock : public ams::AnalogBlock {
  public:
   // `input` is the transmitter output signal; it may be null at
@@ -67,17 +76,37 @@ class ChannelBlock : public ams::AnalogBlock {
   ChannelBlock(const SystemConfig& cfg, const double* input);
   void set_input(const double* input) { in_ = input; }
 
-  // Installs a multipath realization and an overall amplitude scale
-  // (e.g. the path-loss amplitude).
+  // --- tap-set reconfiguration ------------------------------------------
+  // Installing a realization, switching to AWGN-only or changing the
+  // distance rebuilds the sampled delay line and **clears the propagation
+  // history to silence** (write position reset, all line samples zeroed).
+  // Contract: call these between packets only, when the line has drained —
+  // an in-flight waveform (any nonzero line sample) is dropped on the
+  // floor, which the block records in history_discards() as a guard (a
+  // mid-burst rebuild is almost always a testbench sequencing bug).
   void set_realization(const ChannelRealization& realization,
                        double amplitude_scale);
   void set_awgn_only(double amplitude_scale);
-  void set_noise_psd(double n0) { n0_ = n0; }
   void set_distance(double meters);
+  // Number of rebuilds that discarded non-silent delay-line history.
+  std::uint64_t history_discards() const { return history_discards_; }
+
+  // Extra whole-sample delay applied to every tap on top of the
+  // propagation delay (rebuilds the line). A full-duplex testbench that
+  // registers this block *after* the transmitter it listens to (forward
+  // dataflow, as the batched kernel requires) passes 1 to reproduce, bit
+  // for bit, the classic channel-before-transmitter registration in which
+  // the channel reads the previous sample of its input.
+  void set_input_delay(int samples);
+  int input_delay() const { return input_delay_; }
+
+  void set_noise_psd(double n0) { n0_ = n0; }
   void reseed(std::uint64_t seed) { rng_.reseed(seed); }
 
   void step(double t, double dt) override;
-  const double* out() const { return &out_; }
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
+  const double* out() const { return out_; }
 
  private:
   struct SampledTap {
@@ -90,13 +119,15 @@ class ChannelBlock : public ams::AnalogBlock {
   const double* in_;
   double n0_;
   double distance_;
+  int input_delay_ = 0;
   std::vector<ChannelTap> taps_;   // continuous-time description
   double scale_ = 1.0;
   std::vector<SampledTap> sampled_;
-  std::vector<double> delay_line_;  // ring buffer
+  std::vector<double> delay_line_;  // ring buffer (+ kMaxBatch headroom)
   std::size_t write_pos_ = 0;
+  std::uint64_t history_discards_ = 0;
   base::Rng rng_;
-  double out_ = 0.0;
+  double out_[ams::kMaxBatch] = {};
 };
 
 }  // namespace uwbams::uwb

@@ -21,14 +21,36 @@ void Amplifier::set_gain_db(double gain_db) {
 void Amplifier::step(double /*t*/, double dt) {
   double v = gain_lin_ * (*in_);
   if (bw_ > 0.0) v = pole_.step(v, dt);
-  out_ = std::clamp(v, -sat_, sat_);
+  out_[0] = std::clamp(v, -sat_, sat_);
+}
+
+void Amplifier::step_block(const double* /*t*/, double dt, int n) {
+  // Same per-sample operations as step(); the pole recurrence is inherently
+  // serial, the unlimited-bandwidth branch is a pure vectorizable map.
+  const double* in = in_;
+  const double g = gain_lin_;
+  const double sat = sat_;
+  if (bw_ > 0.0) {
+    for (int i = 0; i < n; ++i) {
+      const double v = pole_.step(g * in[i], dt);
+      out_[i] = std::clamp(v, -sat, sat);
+    }
+  } else {
+    for (int i = 0; i < n; ++i) out_[i] = std::clamp(g * in[i], -sat, sat);
+  }
 }
 
 Squarer::Squarer(const double* input, double k) : in_(input), k_(k) {}
 
 void Squarer::step(double /*t*/, double /*dt*/) {
   const double v = *in_;
-  out_ = k_ * v * v;
+  out_[0] = k_ * v * v;
+}
+
+void Squarer::step_block(const double* /*t*/, double /*dt*/, int n) {
+  const double* in = in_;
+  const double k = k_;
+  for (int i = 0; i < n; ++i) out_[i] = k * in[i] * in[i];
 }
 
 }  // namespace uwbams::uwb

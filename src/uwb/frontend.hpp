@@ -5,6 +5,11 @@
 // non-idealities) and an optional single-pole bandwidth limit. The VGA is
 // an Amplifier whose gain code is written by the AGC through a quantizing
 // DAC (uwb/dac in adc.hpp).
+//
+// Both blocks are batch-capable: out() returns the base of a kMaxBatch
+// sample buffer, and step_block() runs the identical per-sample arithmetic
+// in one tight loop (the gain/clamp path with no bandwidth limit
+// auto-vectorizes; the one-pole recurrence stays serial but branch-free).
 #pragma once
 
 #include "ams/kernel.hpp"
@@ -22,7 +27,9 @@ class Amplifier : public ams::AnalogBlock {
   double gain_db() const { return gain_db_; }
 
   void step(double t, double dt) override;
-  const double* out() const { return &out_; }
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
+  const double* out() const { return out_; }
 
  private:
   const double* in_;
@@ -31,7 +38,7 @@ class Amplifier : public ams::AnalogBlock {
   double sat_;
   double bw_;
   ams::OnePoleState pole_;
-  double out_ = 0.0;
+  double out_[ams::kMaxBatch] = {};
 };
 
 // Square-law device: out = k * v^2 (the "( )^2" block of Fig. 1). The
@@ -41,12 +48,14 @@ class Squarer : public ams::AnalogBlock {
  public:
   Squarer(const double* input, double k);
   void step(double t, double dt) override;
-  const double* out() const { return &out_; }
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
+  const double* out() const { return out_; }
 
  private:
   const double* in_;
   double k_;
-  double out_ = 0.0;
+  double out_[ams::kMaxBatch] = {};
 };
 
 }  // namespace uwbams::uwb

@@ -30,6 +30,19 @@ void IdealIntegrator::step(double /*t*/, double dt) {
   }
 }
 
+void IdealIntegrator::step_block(const double* /*t*/, double dt, int n) {
+  switch (mode_) {
+    case Mode::kIntegrate:
+      for (int i = 0; i < n; ++i) state_.step(in_[i], dt);
+      break;
+    case Mode::kDump:
+      state_.reset();  // idempotent: one reset == n per-sample resets
+      break;
+    case Mode::kHold:
+      break;
+  }
+}
+
 // -------------------------------------------------------- TwoPoleIntegrator
 
 TwoPoleIntegrator::TwoPoleIntegrator(const double* input,
@@ -55,6 +68,26 @@ void TwoPoleIntegrator::step(double /*t*/, double dt) {
     }
     case Mode::kDump:
       state_.reset();  // the paper's "else vo_q==0.0; vo==0.0"
+      break;
+    case Mode::kHold:
+      break;
+  }
+}
+
+void TwoPoleIntegrator::step_block(const double* /*t*/, double dt, int n) {
+  switch (mode_) {
+    case Mode::kIntegrate: {
+      const double clamp = params_.input_clamp;
+      if (clamp > 0.0) {
+        for (int i = 0; i < n; ++i)
+          state_.step(std::clamp(in_[i], -clamp, clamp), dt);
+      } else {
+        for (int i = 0; i < n; ++i) state_.step(in_[i], dt);
+      }
+      break;
+    }
+    case Mode::kDump:
+      state_.reset();  // idempotent: one reset == n per-sample resets
       break;
     case Mode::kHold:
       break;
@@ -110,6 +143,15 @@ void SpiceIntegrator::step(double t, double dt) {
   vinp_ = input_cm_ + 0.5 * u;
   vinm_ = input_cm_ - 0.5 * u;
   bridge_->step(t, dt);
+}
+
+void SpiceIntegrator::step_block(const double* t, double dt, int n) {
+  for (int i = 0; i < n; ++i) {
+    const double u = in_[i];
+    vinp_ = input_cm_ + 0.5 * u;
+    vinm_ = input_cm_ - 0.5 * u;
+    bridge_->step(t[i], dt);
+  }
 }
 
 }  // namespace uwbams::uwb

@@ -45,6 +45,11 @@ class IntegrateAndDump : public ams::AnalogBlock {
 };
 
 // Phase II: vo' = K * vin while integrating.
+//
+// All three integrators are batch-capable: mode changes arrive from the
+// window controller's digital events, which the kernel only fires at batch
+// boundaries, so one switch over the mode covers a whole batch and the
+// integrate-phase recurrence runs as a tight loop over the input buffer.
 class IdealIntegrator final : public IntegrateAndDump {
  public:
   IdealIntegrator(const double* input, double k);
@@ -53,6 +58,8 @@ class IdealIntegrator final : public IntegrateAndDump {
   double output() const override { return state_.value(); }
   std::string kind() const override { return "IDEAL"; }
   void step(double t, double dt) override;
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
 
  private:
   const double* in_;
@@ -77,6 +84,8 @@ class TwoPoleIntegrator final : public IntegrateAndDump {
   std::string kind() const override { return "VHDL-AMS"; }
   const TwoPoleParams& params() const { return params_; }
   void step(double t, double dt) override;
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
 
  private:
   const double* in_;
@@ -98,6 +107,12 @@ class SpiceIntegrator final : public IntegrateAndDump {
   double output() const override { return *out_; }
   std::string kind() const override { return "ELDO"; }
   void step(double t, double dt) override;
+  // Batching stops at the co-simulation boundary: each batch sample is one
+  // macro step of the embedded solver, driven with that sample's input —
+  // the identical per-sample sequence, minus the per-sample virtual
+  // dispatch through the kernel.
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
 
   ams::SpiceBridge& bridge() { return *bridge_; }
 

@@ -35,10 +35,20 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   TwrIteration result;
 
   ams::Kernel kernel(sys.dt);
+  // Both nodes' chains are block-wired and batch-capable; the acquisition
+  // FSMs run from digital events, which bound every batch. Registration is
+  // in forward dataflow order (transmitters -> channels -> receivers) as
+  // batching requires; the channels carry a one-sample input delay to
+  // reproduce, bit for bit, the classic channel-before-transmitter
+  // arrangement in which each channel read its input's previous sample.
+  kernel.enable_batching();
 
-  // Channels first (inputs wired after the nodes exist).
-  ChannelBlock chan_ab(sys, nullptr);
-  ChannelBlock chan_ba(sys, nullptr);
+  Transceiver node_a(kernel, sys);  // registers the transmitters only
+  Transceiver node_b(kernel, sys);
+  ChannelBlock chan_ab(sys, node_a.tx_out());
+  ChannelBlock chan_ba(sys, node_b.tx_out());
+  chan_ab.set_input_delay(1);
+  chan_ba.set_input_delay(1);
   kernel.add_analog(chan_ab);
   kernel.add_analog(chan_ba);
 
@@ -59,10 +69,8 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   chan_ab.reseed(noise_seed * 2 + 1);
   chan_ba.reseed(noise_seed * 2 + 2);
 
-  Transceiver node_a(kernel, sys, chan_ba.out(), make_integrator_);
-  Transceiver node_b(kernel, sys, chan_ab.out(), make_integrator_);
-  chan_ab.set_input(node_a.tx_out());
-  chan_ba.set_input(node_b.tx_out());
+  node_a.build_rx(kernel, chan_ba.out(), make_integrator_);
+  node_b.build_rx(kernel, chan_ab.out(), make_integrator_);
 
   Packet request;
   request.preamble_symbols = sys.preamble_symbols;

@@ -1,16 +1,34 @@
 #include "uwb/transceiver.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace uwbams::uwb {
+
+Receiver& Transceiver::rx() {
+  if (!rx_)
+    throw std::logic_error(
+        "Transceiver::rx: build_rx() has not been called (two-phase "
+        "construction registers the receive chain separately)");
+  return *rx_;
+}
 
 Transceiver::Transceiver(ams::Kernel& kernel, const SystemConfig& cfg,
                          const double* rf_input,
                          const IntegratorFactory& make_integrator)
+    : Transceiver(kernel, cfg) {
+  build_rx(kernel, rf_input, make_integrator);
+}
+
+Transceiver::Transceiver(ams::Kernel& kernel, const SystemConfig& cfg)
     : cfg_(cfg) {
   tx_ = std::make_unique<Transmitter>(cfg);
   kernel.add_analog(*tx_);
-  rx_ = std::make_unique<Receiver>(kernel, cfg, rf_input, make_integrator);
+}
+
+void Transceiver::build_rx(ams::Kernel& kernel, const double* rf_input,
+                           const IntegratorFactory& make_integrator) {
+  rx_ = std::make_unique<Receiver>(kernel, cfg_, rf_input, make_integrator);
 }
 
 void Transceiver::send(const Packet& packet, double t_start) {

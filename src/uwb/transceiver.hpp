@@ -25,14 +25,24 @@ class Transceiver {
  public:
   // `rf_input` is the output of the channel block feeding this node's
   // receiver. The transmitter output must be wired by the caller into the
-  // outgoing channel block. Registration order: construct the transmitter
-  // side first (caller registers channels), then this object registers the
-  // receive chain.
+  // outgoing channel block. This one-shot constructor registers the
+  // transmit and receive chains back to back — use it when the rf_input
+  // producer is already registered.
   Transceiver(ams::Kernel& kernel, const SystemConfig& cfg,
               const double* rf_input, const IntegratorFactory& make_integrator);
 
+  // Two-phase construction for full-duplex testbenches that need forward
+  // dataflow registration (transmitters -> channels -> receivers), the
+  // order the batched kernel requires: this constructor registers only the
+  // transmitter; call build_rx() after registering the channel blocks.
+  Transceiver(ams::Kernel& kernel, const SystemConfig& cfg);
+  void build_rx(ams::Kernel& kernel, const double* rf_input,
+                const IntegratorFactory& make_integrator);
+
   Transmitter& tx() { return *tx_; }
-  Receiver& rx() { return *rx_; }
+  // @throws std::logic_error when two-phase construction was used and
+  // build_rx() has not run yet (the receive chain does not exist).
+  Receiver& rx();
   const double* tx_out() const { return tx_->out(); }
 
   // Sends a packet and records the counter timestamp of its first pulse.

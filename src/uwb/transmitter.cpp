@@ -1,5 +1,6 @@
 #include "uwb/transmitter.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -27,13 +28,12 @@ double Transmitter::first_pulse_time() const {
   return t_start_ + pulse_offset_;  // preamble symbol 0, slot 0
 }
 
-void Transmitter::step(double t, double /*dt*/) {
-  out_ = 0.0;
-  if (!packet_.has_value()) return;
+double Transmitter::sample_at(double t) const {
+  if (!packet_.has_value()) return 0.0;
   const double rel = t - t_start_;
-  if (rel < 0.0) return;
+  if (rel < 0.0) return 0.0;
   const int sym = static_cast<int>(rel / cfg_.symbol_period);
-  if (sym >= packet_->total_symbols()) return;
+  if (sym >= packet_->total_symbols()) return 0.0;
   const int slot = packet_->slot_of_symbol(sym);
   const double slot_start =
       sym * cfg_.symbol_period + slot * cfg_.slot_period();
@@ -41,13 +41,32 @@ void Transmitter::step(double t, double /*dt*/) {
   // polarity (a fixed scrambling sequence) keeps neighbouring pulse tails
   // from interfering coherently; the energy detector is polarity-blind.
   const double first_center = slot_start + pulse_offset_;
+  const double half = pulse_.half_duration();
+  // Only pulses whose support can overlap this sample; the +/-1 widening
+  // absorbs the floor/ceil rounding and the exact |t_rel| test below keeps
+  // the accumulated sum identical to scanning the whole burst.
+  int jlo = 0;
+  int jhi = cfg_.pulses_per_symbol - 1;
+  if (cfg_.pulse_spacing > 0.0) {
+    const double off = rel - first_center;
+    jlo = std::max(
+        jlo, static_cast<int>(std::floor((off - half) / cfg_.pulse_spacing)) - 1);
+    jhi = std::min(
+        jhi, static_cast<int>(std::ceil((off + half) / cfg_.pulse_spacing)) + 1);
+  }
   double acc = 0.0;
-  for (int j = 0; j < cfg_.pulses_per_symbol; ++j) {
+  for (int j = jlo; j <= jhi; ++j) {
     const double t_rel = rel - (first_center + j * cfg_.pulse_spacing);
-    if (std::abs(t_rel) <= pulse_.half_duration())
+    if (std::abs(t_rel) <= half)
       acc += ((j & 1) != 0 ? -1.0 : 1.0) * pulse_.value(t_rel);
   }
-  out_ = acc;
+  return acc;
+}
+
+void Transmitter::step(double t, double /*dt*/) { out_[0] = sample_at(t); }
+
+void Transmitter::step_block(const double* t, double /*dt*/, int n) {
+  for (int i = 0; i < n; ++i) out_[i] = sample_at(t[i]);
 }
 
 }  // namespace uwbams::uwb

@@ -4,6 +4,12 @@
 // placed in the slot selected by the payload bit (preamble pulses always in
 // slot 0). The pulse is centered inside its slot at a fixed offset so the
 // whole waveform fits the receiver's integration window.
+//
+// Batch-capable: step_block() evaluates the identical per-sample waveform
+// expression for each batch sample. Both paths share sample_at(), which
+// restricts the burst scan to the pulses whose support can overlap the
+// sample (the exact |t_rel| test is still applied, so the summation — and
+// therefore the waveform — is bit-identical to the full per-pulse scan).
 #pragma once
 
 #include <optional>
@@ -29,15 +35,20 @@ class Transmitter : public ams::AnalogBlock {
   double pulse_offset_in_slot() const { return pulse_offset_; }
 
   void step(double t, double dt) override;
-  const double* out() const { return &out_; }
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
+  const double* out() const { return out_; }
 
  private:
+  // The antenna voltage at absolute time t (the body both step paths run).
+  double sample_at(double t) const;
+
   SystemConfig cfg_;
   GaussianMonocycle pulse_;
   double pulse_offset_;  // pulse center relative to slot start
   std::optional<Packet> packet_;
   double t_start_ = 0.0;
-  double out_ = 0.0;
+  double out_[ams::kMaxBatch] = {};
 };
 
 }  // namespace uwbams::uwb

@@ -1,0 +1,332 @@
+// Batched-vs-scalar equivalence of the AMS kernel and the batched blocks.
+//
+// The batched dataflow contract is *bit-identity*: for any batch capacity
+// (1, a prime, a power of two, or the event-aligned maximum) every
+// waveform sample, window sample and BER count must equal the per-sample
+// path exactly — same operation order, same RNG draw order. The same
+// holds for the parallel Eb/N0 sweep at every job count. These tests
+// compare doubles with EXPECT_EQ on purpose.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "ams/kernel.hpp"
+#include "base/units.hpp"
+#include "core/block_variant.hpp"
+#include "uwb/ber.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/pulse.hpp"
+#include "uwb/ranging.hpp"
+#include "uwb/receiver.hpp"
+#include "uwb/transmitter.hpp"
+
+namespace {
+
+using namespace uwbams;
+using namespace uwbams::uwb;
+
+// Scoped environment override restoring the previous state on destruction
+// (other suites in this binary must not inherit a forced-scalar kernel).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+// Batch-capable waveform recorder (sink block, no output of its own).
+class BatchTap : public ams::AnalogBlock {
+ public:
+  explicit BatchTap(const double* in) : in_(in) {}
+  void step(double, double) override { values.push_back(*in_); }
+  bool supports_batch() const override { return true; }
+  void step_block(const double*, double, int n) override {
+    for (int i = 0; i < n; ++i) values.push_back(in_[i]);
+  }
+  std::vector<double> values;
+
+ private:
+  const double* in_;
+};
+
+SystemConfig batch_sys() {
+  SystemConfig sys;
+  sys.dt = 0.2e-9;
+  sys.distance = 1.0;
+  sys.multipath = false;
+  sys.seed = 11;
+  return sys;
+}
+
+// Runs tx -> CM1 channel (+AWGN) for `t_stop` with irregularly scheduled
+// no-op events (to force event-bounded batch splits) and records the
+// channel output waveform.
+std::vector<double> run_chain_waveform(int capacity) {
+  SystemConfig sys = batch_sys();
+  ams::Kernel kernel(sys.dt);
+  if (capacity > 0) kernel.enable_batching(capacity);
+
+  Transmitter tx(sys);
+  ChannelBlock chan(sys, nullptr);
+  kernel.add_analog(tx);
+  kernel.add_analog(chan);
+  chan.set_input(tx.out());
+  BatchTap tap(chan.out());
+  kernel.add_analog(tap);
+
+  base::Rng rng(42);
+  chan.set_realization(generate_cm1(rng), 3e-3);
+  chan.set_noise_psd(2e-18);
+  chan.reseed(99);
+
+  Packet p;
+  p.preamble_symbols = 2;
+  p.payload = {true, false, true};
+  tx.send(p, 30e-9);
+
+  // Irregular event times exercise mid-stream batch boundaries.
+  std::function<void(double)> tick = [&](double now) {
+    kernel.schedule_callback(now + 13.7e-9, tick);
+  };
+  kernel.schedule_callback(5e-9, tick);
+
+  kernel.run_until(p.duration(sys.symbol_period) + 60e-9);
+  return tap.values;
+}
+
+TEST(KernelBatch, WaveformsBitIdenticalAcrossCapacities) {
+  const auto scalar = run_chain_waveform(0);  // batching never enabled
+  ASSERT_GT(scalar.size(), 1000u);
+  for (int capacity : {1, 7, 64, ams::kMaxBatch}) {
+    const auto batched = run_chain_waveform(capacity);
+    ASSERT_EQ(batched.size(), scalar.size()) << "capacity " << capacity;
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+      ASSERT_EQ(batched[i], scalar[i])
+          << "sample " << i << " at capacity " << capacity;
+  }
+}
+
+// Genie-mode receiver: window samples (time, code and pre-quantization
+// analog value) must match exactly for every capacity and every
+// integrator fidelity.
+std::vector<WindowSample> run_genie_samples(core::IntegratorKind kind,
+                                            int capacity) {
+  SystemConfig sys = batch_sys();
+  sys.seed = 5;
+  ams::Kernel kernel(sys.dt);
+  if (capacity > 0) kernel.enable_batching(capacity);
+
+  Transmitter tx(sys);
+  ChannelBlock chan(sys, nullptr);
+  kernel.add_analog(tx);
+  kernel.add_analog(chan);
+  chan.set_input(tx.out());
+  const double rx_peak = 8e-3;
+  chan.set_awgn_only(rx_peak / sys.pulse_amplitude);
+  const GaussianMonocycle pulse(2, sys.pulse_sigma, rx_peak);
+  chan.set_noise_psd(pulse.energy() * sys.pulses_per_symbol /
+                     units::db_to_pow(10.0));
+  chan.reseed(123);
+
+  Receiver rx(kernel, sys, chan.out(),
+              core::make_integrator_factory(kind, sys));
+  rx.keep_samples(true);
+
+  base::Rng rng(7);
+  Packet p;
+  p.preamble_symbols = 0;
+  p.payload = rng.bits(kind == core::IntegratorKind::kSpice ? 4 : 24);
+  const double t_start = 2.0 * sys.slot_period();
+  tx.send(p, t_start);
+  rx.start_genie(kernel, t_start + sys.distance / units::speed_of_light,
+                 p.payload);
+  kernel.run_until(t_start + p.duration(sys.symbol_period) + 1e-6);
+  return rx.samples();
+}
+
+void expect_same_samples(const std::vector<WindowSample>& a,
+                         const std::vector<WindowSample>& b,
+                         const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].window_start, b[i].window_start) << what << " #" << i;
+    ASSERT_EQ(a[i].code, b[i].code) << what << " #" << i;
+    ASSERT_EQ(a[i].analog, b[i].analog) << what << " #" << i;
+  }
+}
+
+TEST(KernelBatch, WindowSamplesBitIdenticalIdealIntegrator) {
+  const auto scalar = run_genie_samples(core::IntegratorKind::kIdeal, 0);
+  ASSERT_GT(scalar.size(), 10u);
+  for (int capacity : {1, 7, 64, ams::kMaxBatch}) {
+    const auto batched = run_genie_samples(core::IntegratorKind::kIdeal,
+                                           capacity);
+    expect_same_samples(scalar, batched, "ideal");
+  }
+}
+
+TEST(KernelBatch, WindowSamplesBitIdenticalTwoPoleIntegrator) {
+  const auto scalar = run_genie_samples(core::IntegratorKind::kBehavioral, 0);
+  const auto batched =
+      run_genie_samples(core::IntegratorKind::kBehavioral, ams::kMaxBatch);
+  expect_same_samples(scalar, batched, "two-pole");
+}
+
+TEST(KernelBatch, WindowSamplesBitIdenticalSpiceIntegrator) {
+  // The co-simulated netlist is the expensive fidelity: a short payload
+  // still crosses several full window cycles (dump/integrate/hold/ADC).
+  const auto scalar = run_genie_samples(core::IntegratorKind::kSpice, 0);
+  ASSERT_GT(scalar.size(), 4u);
+  const auto batched =
+      run_genie_samples(core::IntegratorKind::kSpice, ams::kMaxBatch);
+  expect_same_samples(scalar, batched, "spice");
+}
+
+TEST(KernelBatch, BatchHistogramAccountsForEverySample) {
+  if (const char* env = std::getenv("UWBAMS_FORCE_SCALAR");
+      env != nullptr && env[0] == '1')
+    GTEST_SKIP() << "forced-scalar run: batching disabled by design";
+  SystemConfig sys = batch_sys();
+  ams::Kernel kernel(sys.dt);
+  kernel.enable_batching(64);
+
+  Transmitter tx(sys);
+  ChannelBlock chan(sys, nullptr);
+  kernel.add_analog(tx);
+  kernel.add_analog(chan);
+  chan.set_input(tx.out());
+  chan.set_awgn_only(1e-3);
+  chan.set_noise_psd(1e-18);
+
+  Receiver rx(kernel, sys, chan.out(),
+              core::make_integrator_factory(core::IntegratorKind::kIdeal, sys));
+  base::Rng rng(3);
+  Packet p;
+  p.preamble_symbols = 0;
+  p.payload = rng.bits(8);
+  tx.send(p, 100e-9);
+  rx.start_genie(kernel, 100e-9 + sys.distance / units::speed_of_light,
+                 p.payload);
+  kernel.run_until(p.duration(sys.symbol_period) + 1e-6);
+
+  ASSERT_TRUE(kernel.batching_active());
+  const auto& hist = kernel.batch_histogram();
+  ASSERT_EQ(hist.size(), static_cast<std::size_t>(ams::kMaxBatch) + 1);
+  std::uint64_t total = 0, batches = 0, above_capacity = 0;
+  for (std::size_t n = 0; n < hist.size(); ++n) {
+    total += n * hist[n];
+    batches += hist[n];
+    if (n > 64) above_capacity += hist[n];
+  }
+  EXPECT_EQ(total, kernel.steps());
+  EXPECT_EQ(above_capacity, 0u);
+  // Event-bounded: the controller's window phases force sub-capacity
+  // batches, so there must be more batches than steps/capacity alone.
+  EXPECT_GT(batches, kernel.steps() / 64);
+}
+
+TEST(KernelBatch, BerCountsBitIdenticalForcedScalarVsBatched) {
+  BerConfig cfg;
+  cfg.sys = batch_sys();
+  cfg.ebn0_db = {8.0};
+  cfg.max_bits = 600;
+  cfg.min_errors = 1000;  // fixed workload
+  const auto factory =
+      core::make_integrator_factory(core::IntegratorKind::kIdeal, cfg.sys);
+
+  std::vector<BerPoint> scalar, batched, small_batch;
+  {
+    ScopedEnv force("UWBAMS_FORCE_SCALAR", "1");
+    scalar = run_ber_sweep(cfg, factory);
+  }
+  batched = run_ber_sweep(cfg, factory);
+  {
+    ScopedEnv cap("UWBAMS_BATCH_CAP", "7");
+    small_batch = run_ber_sweep(cfg, factory);
+  }
+  ASSERT_EQ(scalar.size(), 1u);
+  EXPECT_EQ(scalar[0].bits, batched[0].bits);
+  EXPECT_EQ(scalar[0].errors, batched[0].errors);
+  EXPECT_EQ(scalar[0].ber, batched[0].ber);
+  EXPECT_EQ(scalar[0].bits, small_batch[0].bits);
+  EXPECT_EQ(scalar[0].errors, small_batch[0].errors);
+  EXPECT_EQ(scalar[0].ber, small_batch[0].ber);
+}
+
+TEST(KernelBatch, ParallelSweepMatchesSerialAtEveryJobCount) {
+  BerConfig cfg;
+  cfg.sys = batch_sys();
+  cfg.sys.seed = 21;
+  cfg.ebn0_db = {4.0, 8.0, 12.0};
+  cfg.max_bits = 400;
+  cfg.min_errors = 25;
+  const auto factory =
+      core::make_integrator_factory(core::IntegratorKind::kIdeal, cfg.sys);
+
+  cfg.jobs = 1;
+  const auto serial = run_ber_sweep(cfg, factory);
+  ASSERT_EQ(serial.size(), 3u);
+  for (int jobs : {2, 3, 8}) {
+    cfg.jobs = jobs;
+    const auto parallel = run_ber_sweep(cfg, factory);
+    ASSERT_EQ(parallel.size(), serial.size()) << "jobs " << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].ebn0_db, serial[i].ebn0_db) << "jobs " << jobs;
+      EXPECT_EQ(parallel[i].bits, serial[i].bits) << "jobs " << jobs;
+      EXPECT_EQ(parallel[i].errors, serial[i].errors) << "jobs " << jobs;
+      EXPECT_EQ(parallel[i].ber, serial[i].ber) << "jobs " << jobs;
+    }
+  }
+}
+
+TEST(KernelBatch, AcquireModeRangingBitIdentical) {
+  // Full acquisition (NE -> PS -> AGC -> coarse -> fine) through the
+  // batched kernel: the TWR distance estimate must match the per-sample
+  // path bit for bit.
+  TwrConfig cfg;
+  cfg.sys.dt = 0.2e-9;
+  cfg.sys.distance = 3.0;
+  cfg.sys.multipath = false;
+  cfg.sys.preamble_symbols = 80;
+  cfg.sys.noise_est_windows = 16;
+  cfg.sys.seed = 9;
+  cfg.iterations = 1;
+  cfg.noise_psd = 1e-19;
+  const auto factory =
+      core::make_integrator_factory(core::IntegratorKind::kIdeal, cfg.sys);
+
+  TwrResult scalar, batched;
+  {
+    ScopedEnv force("UWBAMS_FORCE_SCALAR", "1");
+    scalar = TwoWayRanging(cfg, factory).run();
+  }
+  batched = TwoWayRanging(cfg, factory).run();
+  ASSERT_EQ(scalar.iterations.size(), 1u);
+  ASSERT_EQ(batched.iterations.size(), 1u);
+  ASSERT_TRUE(scalar.iterations[0].ok);
+  ASSERT_TRUE(batched.iterations[0].ok);
+  EXPECT_EQ(scalar.iterations[0].distance_estimate,
+            batched.iterations[0].distance_estimate);
+  EXPECT_EQ(scalar.iterations[0].toa_bias_a, batched.iterations[0].toa_bias_a);
+  EXPECT_EQ(scalar.iterations[0].toa_bias_b, batched.iterations[0].toa_bias_b);
+}
+
+}  // namespace

@@ -133,6 +133,55 @@ TEST(Channel, Cm1DelaySpreadInPlausibleRange) {
   EXPECT_LT(st.mean(), 30e-9);
 }
 
+TEST(Channel, RebuildMidRunDiscardsHistoryAndCountsIt) {
+  // Contract regression (see ChannelBlock header): set_distance() /
+  // set_realization() / set_awgn_only() rebuild the sampled delay line and
+  // clear propagation history. Rebuilding while a waveform is still in
+  // flight drops it — the guard counter must record exactly that case, and
+  // the line must come back consistent (write position reset, silence out).
+  SystemConfig sys;
+  sys.dt = 0.1e-9;
+  sys.distance = 3.0;
+  double input = 0.0;
+  ChannelBlock chan(sys, &input);
+  chan.set_awgn_only(0.5);
+  chan.set_noise_psd(0.0);
+  EXPECT_EQ(chan.history_discards(), 0u);  // drained-line rebuilds are free
+
+  // Put an impulse in flight, then rebuild mid-propagation.
+  input = 1.0;
+  chan.step(0.0, sys.dt);
+  input = 0.0;
+  chan.step(sys.dt, sys.dt);
+  chan.set_distance(6.0);  // mid-run: the in-flight impulse is dropped
+  EXPECT_EQ(chan.history_discards(), 1u);
+
+  // The dropped impulse must never emerge; the line is silent and usable.
+  const int prop_samples = static_cast<int>(
+      std::round(6.0 / units::speed_of_light / sys.dt)) + 4;
+  for (int i = 0; i < prop_samples; ++i) {
+    chan.step(i * sys.dt, sys.dt);
+    ASSERT_EQ(*chan.out(), 0.0) << "stale history leaked at sample " << i;
+  }
+
+  // A fresh impulse propagates with the new distance exactly.
+  input = 1.0;
+  chan.step(0.0, sys.dt);
+  input = 0.0;
+  const int d = static_cast<int>(
+      std::round(6.0 / units::speed_of_light / sys.dt));
+  double out_at_delay = -1.0;
+  for (int i = 1; i <= d + 2; ++i) {
+    chan.step(i * sys.dt, sys.dt);
+    if (i == d) out_at_delay = *chan.out();
+  }
+  EXPECT_NEAR(out_at_delay, 0.5, 1e-12);
+
+  // Between-packet rebuild on the drained line: no further discards.
+  chan.set_distance(3.0);
+  EXPECT_EQ(chan.history_discards(), 1u);
+}
+
 TEST(Channel, BlockDelaysAndScales) {
   SystemConfig sys;
   sys.dt = 0.1e-9;
