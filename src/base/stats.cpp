@@ -96,6 +96,24 @@ double percentile_of(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+QuantileSummary summarize_quantiles(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("summarize_quantiles: empty input");
+  QuantileSummary q;
+  q.count = xs.size();
+  q.mean = mean_of(xs);
+  std::sort(xs.begin(), xs.end());
+  q.min = xs.front();
+  q.max = xs.back();
+  // xs is already sorted; percentile_of sorts again, but these samples are
+  // yield-report sized (hundreds), not waveform sized.
+  q.p05 = percentile_of(xs, 5.0);
+  q.p25 = percentile_of(xs, 25.0);
+  q.p50 = percentile_of(xs, 50.0);
+  q.p75 = percentile_of(xs, 75.0);
+  q.p95 = percentile_of(xs, 95.0);
+  return q;
+}
+
 LineFit fit_line(std::span<const double> x, std::span<const double> y) {
   if (x.size() != y.size() || x.size() < 2)
     throw std::invalid_argument("fit_line: need >= 2 equal-length samples");

@@ -65,6 +65,17 @@ double max_abs_of(std::span<const double> xs);
 // p in [0,100]; linear interpolation between order statistics.
 double percentile_of(std::vector<double> xs, double p);
 
+// Five-number-plus summary of a sample, built on percentile_of — the
+// per-parameter record Monte-Carlo yield reports quote (min / p5 / p25 /
+// median / p75 / p95 / max plus the mean).
+struct QuantileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0, max = 0.0;
+  double p05 = 0.0, p25 = 0.0, p50 = 0.0, p75 = 0.0, p95 = 0.0;
+};
+QuantileSummary summarize_quantiles(std::vector<double> xs);
+
 // Least-squares line fit y = a + b*x; returns {a, b}.
 struct LineFit {
   double intercept = 0.0;

@@ -101,7 +101,8 @@ TwoPoleFit fit_two_pole(std::span<const double> freqs_hz,
   return fit;
 }
 
-ItdCharacterization characterize_itd(const spice::ItdSizing& sizing) {
+ItdCharacterization characterize_itd(const spice::ItdSizing& sizing,
+                                     const CharacterizeOptions& options) {
   ItdCharacterization ch;
 
   // --- AC response of the cell (Fig. 4 sweep).
@@ -110,7 +111,8 @@ ItdCharacterization characterize_itd(const spice::ItdSizing& sizing) {
   const auto op = spice::solve_op(ckt);
   if (!op.converged)
     throw std::runtime_error("characterize_itd: OP did not converge");
-  const auto freqs = spice::log_frequency_grid(1e3, 50e9, 12);
+  const auto freqs = spice::log_frequency_grid(
+      options.f_start, options.f_stop, options.points_per_decade);
   ch.sweep = spice::run_ac(ckt, op.x, freqs, tb.t.out_intp, tb.t.out_intm);
 
   std::vector<double> f, m;
@@ -131,11 +133,11 @@ ItdCharacterization characterize_itd(const spice::ItdSizing& sizing) {
   }
 
   // --- DC input linear range and slew rate from transient integrations.
-  auto integrated = [&sizing](double vin_diff) {
+  auto integrated = [&sizing, &options](double vin_diff) {
     spice::Circuit c2;
     const auto tb2 = spice::build_itd_testbench(c2, sizing);
     spice::TransientOptions topts;
-    topts.dt = 0.2e-9;
+    topts.dt = options.dt;
     spice::TransientSession sim(c2, topts);
     sim.source("vctrlp").set_override(sizing.vdd);
     sim.source("vctrlm").set_override(sizing.vdd);  // dump first
@@ -147,18 +149,20 @@ ItdCharacterization characterize_itd(const spice::ItdSizing& sizing) {
     return std::abs(sim.v(tb2.t.out_intp) - sim.v(tb2.t.out_intm));
   };
 
-  const double v_small = 10e-3;
-  const double ref_slope = integrated(v_small) / v_small;
-  ch.input_linear_range = 0.5;  // upper bound if never compressed
-  for (double vin = 20e-3; vin <= 0.5; vin *= 1.25) {
-    const double slope = integrated(vin) / vin;
-    if (slope < 0.9 * ref_slope) {
-      ch.input_linear_range = vin;
-      break;
+  if (options.measure_linear_range) {
+    const double v_small = 10e-3;
+    const double ref_slope = integrated(v_small) / v_small;
+    ch.input_linear_range = 0.5;  // upper bound if never compressed
+    for (double vin = 20e-3; vin <= 0.5; vin *= 1.25) {
+      const double slope = integrated(vin) / vin;
+      if (slope < 0.9 * ref_slope) {
+        ch.input_linear_range = vin;
+        break;
+      }
     }
   }
   // Slew: output ramp rate under a heavily overdriven input.
-  ch.slew_rate = integrated(0.6) / 50e-9;
+  if (options.measure_slew) ch.slew_rate = integrated(0.6) / 50e-9;
 
   return ch;
 }

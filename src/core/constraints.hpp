@@ -1,11 +1,12 @@
-// constraints.hpp — design-constraint extraction from channel realizations.
-//
-// Paper §4: "Some of the integrator design constraints such as slew rate
-// and bandwidth have been extrapolated from the analysis of 100 UWB TG4a
-// CM1 waveform realizations." This module reproduces that analysis: it
-// propagates the transmit pulse through N CM1 realizations, squares the
-// received waveform (as the detector front end does) and aggregates the
-// statistics that size the integrator.
+/// @file constraints.hpp
+/// @brief Design-constraint extraction from channel realizations.
+///
+/// Paper §4: "Some of the integrator design constraints such as slew rate
+/// and bandwidth have been extrapolated from the analysis of 100 UWB TG4a
+/// CM1 waveform realizations." This module reproduces that analysis: it
+/// propagates the transmit pulse through N CM1 realizations, squares the
+/// received waveform (as the detector front end does) and aggregates the
+/// statistics that size the integrator.
 #pragma once
 
 #include <cstdint>
@@ -17,22 +18,22 @@ namespace uwbams::core {
 
 struct DesignConstraints {
   int realizations = 0;
-  // 99th percentile of the squared-signal peak after nominal front-end
-  // gain — the integrator's input range must cover it (or the AGC must
-  // back off): directly the paper's "input linear range" sizing driver.
-  double squared_peak_p99 = 0.0;   // [V]
-  // Required output slew rate so the integrator tracks the energy ramp of
-  // the worst-case realization: K * squared_peak.
-  double slew_rate_p99 = 0.0;      // [V/s]
-  // Multipath spread statistics that size the integration window.
-  double rms_delay_spread_mean = 0.0;  // [s]
-  double rms_delay_spread_p90 = 0.0;   // [s]
-  // Fraction of channel energy captured by the default window length.
+  /// 99th percentile of the squared-signal peak after nominal front-end
+  /// gain — the integrator's input range must cover it (or the AGC must
+  /// back off): directly the paper's "input linear range" sizing driver.
+  double squared_peak_p99 = 0.0;   ///< [V]
+  /// Required output slew rate so the integrator tracks the energy ramp of
+  /// the worst-case realization: K * squared_peak.
+  double slew_rate_p99 = 0.0;      ///< [V/s]
+  /// Multipath spread statistics that size the integration window.
+  double rms_delay_spread_mean = 0.0;  ///< [s]
+  double rms_delay_spread_p90 = 0.0;   ///< [s]
+  /// Fraction of channel energy captured by the default window length.
   double window_energy_capture_mean = 0.0;
 };
 
-// Runs the §4 analysis over `n_realizations` CM1 draws at the configured
-// distance and nominal receiver gain.
+/// Runs the §4 analysis over `n_realizations` CM1 draws at the configured
+/// distance and nominal receiver gain.
 DesignConstraints extract_constraints(const uwb::SystemConfig& cfg,
                                       int n_realizations = 100,
                                       std::uint64_t seed = 42);

@@ -1,9 +1,10 @@
-// experiment.hpp — system-simulation runner with CPU-time accounting.
-//
-// The Table-1 workload: a full receive-chain simulation of fixed simulated
-// duration (30 us in the paper) at the fixed 0.05 ns step, run once per
-// integrator fidelity, reporting wall-clock CPU time. The same runner backs
-// the step-size ablation.
+/// @file experiment.hpp
+/// @brief System-simulation runner with CPU-time accounting.
+///
+/// The Table-1 workload: a full receive-chain simulation of fixed simulated
+/// duration (30 us in the paper) at the fixed 0.05 ns step, run once per
+/// integrator fidelity, reporting wall-clock CPU time. The same runner backs
+/// the step-size ablation.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +18,8 @@ struct SystemRunConfig {
   uwb::SystemConfig sys;
   IntegratorKind kind = IntegratorKind::kIdeal;
   VariantOptions variant;
-  double duration = 30e-6;  // simulated time (paper Table 1: 30 us)
-  double ebn0_db = 10.0;    // link operating point during the run
+  double duration = 30e-6;  ///< simulated time (paper Table 1: 30 us)
+  double ebn0_db = 10.0;    ///< link operating point during the run
   double rx_pulse_peak = 10e-3;
 };
 
@@ -31,9 +32,9 @@ struct SystemRunResult {
   std::uint64_t bit_errors = 0;
 };
 
-// Runs the workload once and measures wall-clock time of the simulation
-// loop (construction and operating-point time excluded, matching how
-// simulator CPU times are normally quoted).
+/// Runs the workload once and measures wall-clock time of the simulation
+/// loop (construction and operating-point time excluded, matching how
+/// simulator CPU times are normally quoted).
 SystemRunResult run_system_simulation(const SystemRunConfig& config);
 
 }  // namespace uwbams::core

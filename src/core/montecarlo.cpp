@@ -1,0 +1,289 @@
+#include "core/montecarlo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "base/random.hpp"
+#include "core/block_variant.hpp"
+#include "uwb/ber.hpp"
+
+namespace uwbams::core {
+
+namespace {
+
+// %.17g round-trips doubles exactly — the per-trial CSV is byte-compared
+// across --jobs counts by CI, so formatting is part of the contract.
+std::string g17(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+namespace {
+
+// A criterion whose measurement is disabled in the config must not read
+// the unmeasured 0.0 as a failure — and the relaxation must be visible in
+// the reported criteria, so the yield.json "criteria" block never claims
+// a threshold that was not actually applied.
+YieldCriteria effective_criteria(const McConfig& config,
+                                 const YieldCriteria& criteria) {
+  YieldCriteria judged = criteria;
+  if (!config.characterize.measure_linear_range) judged.min_input_range = 0.0;
+  if (!config.characterize.measure_slew) judged.min_slew_rate = 0.0;
+  return judged;
+}
+
+}  // namespace
+
+std::string PvtCorner::label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s @ %.2f V / %g C",
+                spice::to_string(process), vdd, temp_c);
+  return buf;
+}
+
+std::vector<PvtCorner> standard_corners(double vdd_nom, double supply_tol,
+                                        double temp_lo, double temp_hi) {
+  // Fast silicon is fastest cold and overvolted, slow silicon slowest hot
+  // and undervolted; the skewed corners sign off at nominal environment.
+  return {
+      {spice::Corner::kTT, vdd_nom, 27.0},
+      {spice::Corner::kFF, vdd_nom * (1.0 + supply_tol), temp_lo},
+      {spice::Corner::kSS, vdd_nom * (1.0 - supply_tol), temp_hi},
+      {spice::Corner::kFS, vdd_nom, 27.0},
+      {spice::Corner::kSF, vdd_nom, 27.0},
+  };
+}
+
+YieldCriteria YieldCriteria::from_constraints(
+    const DesignConstraints& constraints, const ItdCharacterization& nominal) {
+  YieldCriteria c;
+  // §4: the linear input range must cover the p99 squared-signal peak and
+  // the output must slew with the worst-case energy ramp.
+  c.min_input_range = constraints.squared_peak_p99;
+  c.min_slew_rate = constraints.slew_rate_p99;
+  // Bandwidth closure: the paper's energy detector needs the cell to keep
+  // integrator-like (-20 dB/dec) behavior across the burst bandwidth; half
+  // the nominal unity-gain frequency is the floor below which the Fig. 4
+  // band visibly collapses.
+  c.min_unity_gain_hz = 0.5 * nominal.unity_gain_freq;
+  // Gain anchor: the AGC calibrates the chain against the nominal DC gain;
+  // a +-3 dB excursion is one VGA DAC step band (config's 6-bit / 40 dB).
+  c.nominal_gain_db = nominal.ac.dc_gain_db;
+  c.gain_tol_db = 3.0;
+  return c;
+}
+
+void judge_trial(McTrial* trial, const YieldCriteria& criteria) {
+  trial->violations = 0;
+  if (!trial->converged) {
+    trial->violations |= kViolNoConverge;
+  } else {
+    if (trial->input_linear_range < criteria.min_input_range)
+      trial->violations |= kViolInputRange;
+    if (trial->slew_rate < criteria.min_slew_rate)
+      trial->violations |= kViolSlewRate;
+    if (trial->unity_gain_freq < criteria.min_unity_gain_hz)
+      trial->violations |= kViolBandwidth;
+    if (std::abs(trial->dc_gain_db - criteria.nominal_gain_db) >
+        criteria.gain_tol_db)
+      trial->violations |= kViolGain;
+  }
+  trial->pass = trial->violations == 0;
+}
+
+McTrial run_mc_trial(const McConfig& config, int index,
+                     const YieldCriteria& criteria) {
+  McTrial trial;
+  trial.index = index;
+  trial.seed = base::derive_seed(config.seed, static_cast<std::uint64_t>(index));
+
+  // Fixed sub-stream layout off the trial seed (never off execution
+  // order): 1 = corner draw, 2 = mismatch cards, 3 = BER link noise.
+  trial.corner = config.corner;
+  if (config.sample_corners) {
+    base::Rng pick(base::derive_seed(trial.seed, 1));
+    const auto corners = standard_corners(config.corner.vdd);
+    trial.corner =
+        corners[static_cast<std::size_t>(pick.uniform_int(
+            0, static_cast<int>(corners.size()) - 1))];
+  }
+
+  spice::ItdSizing sizing = config.sizing;
+  sizing.vdd = trial.corner.vdd;
+  sizing.variation.corner = trial.corner.process;
+  sizing.variation.temp_c = trial.corner.temp_c;
+  sizing.variation.sigma_scale = config.sigma_scale;
+  sizing.variation.mismatch_seed = base::derive_seed(trial.seed, 2);
+
+  try {
+    const ItdCharacterization ch =
+        characterize_itd(sizing, config.characterize);
+    trial.converged = true;
+    trial.dc_gain_db = ch.ac.dc_gain_db;
+    trial.f_pole1 = ch.ac.f_pole1;
+    trial.f_pole2 = ch.ac.f_pole2;
+    trial.unity_gain_freq = ch.unity_gain_freq;
+    trial.input_linear_range = ch.input_linear_range;
+    trial.slew_rate = ch.slew_rate;
+    trial.fit_rms_error_db = ch.ac.rms_error_db;
+    // The clamp only exists when the linear range was actually measured;
+    // a skipped measurement must not masquerade as "clamp at 0 V".
+    trial.params = to_behavioral_params(
+        ch, /*with_clamp=*/config.characterize.measure_linear_range);
+  } catch (const std::exception&) {
+    // A non-converging OP or a fit without a -3 dB corner is itself a
+    // yield failure, not a sweep abort.
+    trial.converged = false;
+  }
+
+  if (trial.converged && config.with_ber) {
+    // Propagate the trial's Phase-IV model through the behavioral link:
+    // the same genie-timed 2-PPM chain fig6_ber runs, with this trial's
+    // gain/poles/clamp in the integrator seat.
+    uwb::BerConfig bc;
+    bc.sys = config.sys;
+    bc.sys.preamble_symbols = 0;  // genie runs are payload-only
+    bc.sys.multipath = false;
+    bc.sys.seed = base::derive_seed(trial.seed, 3);
+    bc.ebn0_db = {config.ebn0_db};
+    bc.max_bits = config.ber_bits;
+    bc.jobs = 1;  // trials are already fanned; keep the inner sweep inline
+    VariantOptions vo;
+    vo.behavioral = trial.params;
+    // Clamp only when the range was measured: with an unmeasured range the
+    // trial's clamp is 0 ("disabled"), and behavioral_uses_clamp=true would
+    // make the factory substitute the *nominal* sys.integrator_clamp — a
+    // fixed value that does not reflect this trial's variation.
+    vo.behavioral_uses_clamp = config.characterize.measure_linear_range;
+    const auto points = uwb::run_ber_sweep(
+        bc, make_integrator_factory(IntegratorKind::kBehavioral, bc.sys, vo));
+    trial.ber = points.at(0).ber;
+  }
+
+  judge_trial(&trial, effective_criteria(config, criteria));
+  return trial;
+}
+
+McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
+                         const base::ParallelRunner& pool) {
+  McResult result;
+  // Report the criteria as judged (skipped measurements relax them), never
+  // the caller's unrelaxed thresholds.
+  result.criteria = effective_criteria(config, criteria);
+  result.trials = pool.map<McTrial>(
+      static_cast<std::size_t>(config.trials),
+      [&](std::size_t i) {
+        return run_mc_trial(config, static_cast<int>(i), criteria);
+      });
+
+  McSummary& s = result.summary;
+  s.trials = static_cast<int>(result.trials.size());
+  std::vector<double> gain, f1, f2, ugf, range, slew, ber;
+  for (const McTrial& t : result.trials) {
+    if (t.pass) ++s.passes;
+    if (t.violations & kViolInputRange) ++s.fail_input_range;
+    if (t.violations & kViolSlewRate) ++s.fail_slew_rate;
+    if (t.violations & kViolBandwidth) ++s.fail_bandwidth;
+    if (t.violations & kViolGain) ++s.fail_gain;
+    if (t.violations & kViolNoConverge) ++s.fail_no_converge;
+    if (!t.converged) continue;
+    gain.push_back(t.dc_gain_db);
+    f1.push_back(t.f_pole1);
+    f2.push_back(t.f_pole2);
+    ugf.push_back(t.unity_gain_freq);
+    range.push_back(t.input_linear_range);
+    slew.push_back(t.slew_rate);
+    if (t.ber >= 0.0) ber.push_back(t.ber);
+  }
+  s.yield = s.trials > 0 ? static_cast<double>(s.passes) / s.trials : 0.0;
+  if (!gain.empty()) {
+    s.gain_db = base::summarize_quantiles(gain);
+    s.f_pole1_hz = base::summarize_quantiles(f1);
+    s.f_pole2_hz = base::summarize_quantiles(f2);
+    s.unity_gain_hz = base::summarize_quantiles(ugf);
+    s.input_range_v = base::summarize_quantiles(range);
+    s.slew_rate_vps = base::summarize_quantiles(slew);
+  }
+  if (!ber.empty()) s.ber = base::summarize_quantiles(ber);
+  return result;
+}
+
+std::string trials_to_csv(const std::vector<McTrial>& trials) {
+  std::string out =
+      "trial,seed,corner,vdd,temp_c,converged,dc_gain_db,f_pole1_hz,"
+      "f_pole2_hz,unity_gain_hz,input_linear_range_v,slew_rate_vps,"
+      "fit_rms_error_db,ber,violations,pass\n";
+  for (const McTrial& t : trials) {
+    out += std::to_string(t.index) + ',' + std::to_string(t.seed) + ',';
+    out += spice::to_string(t.corner.process);
+    out += ',' + g17(t.corner.vdd) + ',' + g17(t.corner.temp_c) + ',';
+    out += t.converged ? "1," : "0,";
+    out += g17(t.dc_gain_db) + ',' + g17(t.f_pole1) + ',' + g17(t.f_pole2) +
+           ',' + g17(t.unity_gain_freq) + ',' + g17(t.input_linear_range) +
+           ',' + g17(t.slew_rate) + ',' + g17(t.fit_rms_error_db) + ',' +
+           g17(t.ber) + ',';
+    out += std::to_string(t.violations) + ',' + (t.pass ? "1" : "0") + '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string quantile_json(const base::QuantileSummary& q) {
+  std::string out = "{";
+  out += "\"count\": " + std::to_string(q.count);
+  out += ", \"mean\": " + g17(q.mean);
+  out += ", \"min\": " + g17(q.min);
+  out += ", \"p05\": " + g17(q.p05);
+  out += ", \"p25\": " + g17(q.p25);
+  out += ", \"p50\": " + g17(q.p50);
+  out += ", \"p75\": " + g17(q.p75);
+  out += ", \"p95\": " + g17(q.p95);
+  out += ", \"max\": " + g17(q.max);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string summary_to_json(const McResult& result) {
+  const McSummary& s = result.summary;
+  const YieldCriteria& c = result.criteria;
+  std::string out = "{\n";
+  out += "  \"trials\": " + std::to_string(s.trials) + ",\n";
+  out += "  \"passes\": " + std::to_string(s.passes) + ",\n";
+  out += "  \"yield\": " + g17(s.yield) + ",\n";
+  out += "  \"criteria\": {\n";
+  out += "    \"min_input_range_v\": " + g17(c.min_input_range) + ",\n";
+  out += "    \"min_slew_rate_vps\": " + g17(c.min_slew_rate) + ",\n";
+  out += "    \"min_unity_gain_hz\": " + g17(c.min_unity_gain_hz) + ",\n";
+  out += "    \"nominal_gain_db\": " + g17(c.nominal_gain_db) + ",\n";
+  out += "    \"gain_tol_db\": " + g17(c.gain_tol_db) + "\n";
+  out += "  },\n";
+  out += "  \"failures\": {\n";
+  out += "    \"input_range\": " + std::to_string(s.fail_input_range) + ",\n";
+  out += "    \"slew_rate\": " + std::to_string(s.fail_slew_rate) + ",\n";
+  out += "    \"bandwidth\": " + std::to_string(s.fail_bandwidth) + ",\n";
+  out += "    \"gain\": " + std::to_string(s.fail_gain) + ",\n";
+  out += "    \"no_converge\": " + std::to_string(s.fail_no_converge) + "\n";
+  out += "  },\n";
+  out += "  \"parameters\": {\n";
+  out += "    \"dc_gain_db\": " + quantile_json(s.gain_db) + ",\n";
+  out += "    \"f_pole1_hz\": " + quantile_json(s.f_pole1_hz) + ",\n";
+  out += "    \"f_pole2_hz\": " + quantile_json(s.f_pole2_hz) + ",\n";
+  out += "    \"unity_gain_hz\": " + quantile_json(s.unity_gain_hz) + ",\n";
+  out += "    \"input_linear_range_v\": " + quantile_json(s.input_range_v) +
+         ",\n";
+  out += "    \"slew_rate_vps\": " + quantile_json(s.slew_rate_vps) + ",\n";
+  out += "    \"ber\": " + quantile_json(s.ber) + "\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace uwbams::core

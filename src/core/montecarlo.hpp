@@ -1,0 +1,187 @@
+/// @file montecarlo.hpp
+/// @brief Monte-Carlo + PVT-corner characterization of the I&D cell.
+///
+/// The paper's methodology earns its keep when the calibrated Phase-IV
+/// model is checked *statistically*: the transistor-level block is
+/// re-characterized under process corners, supply/temperature skew and
+/// per-device mismatch, and each trial's fitted behavioral parameters are
+/// pushed back through the system chain and judged against the §4 design
+/// constraints. This module is that loop:
+///
+///   corner/mismatch cards (spice::ModelVariation)
+///     -> characterize_itd            (AC fit + linear range + slew)
+///     -> to_behavioral_params        (trial TwoPoleParams)
+///     -> optional behavioral BER     (uwb::run_ber_sweep, trial params)
+///     -> pass/fail vs YieldCriteria  (from core::DesignConstraints)
+///     -> yield + parameter quantiles (base::summarize_quantiles)
+///
+/// Trials are embarrassingly parallel and fan over base::ParallelRunner.
+/// Every random input of trial `i` derives from
+/// `base::derive_seed(config.seed, i)` alone — never from execution order
+/// or worker id — so a run is bit-identical for any `--jobs` value and
+/// across repeated runs with the same seed (the PR 1/PR 3 determinism
+/// contract, extended to the statistical pipeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/parallel.hpp"
+#include "base/stats.hpp"
+#include "core/characterize.hpp"
+#include "core/constraints.hpp"
+#include "spice/itd_builder.hpp"
+#include "uwb/config.hpp"
+#include "uwb/integrator.hpp"
+
+namespace uwbams::core {
+
+/// One PVT condition: process corner plus the supply and temperature the
+/// trial runs at. Process corners and environment skew travel together
+/// because worst-case analog behavior is their combination (slow silicon
+/// is slowest hot and undervolted).
+struct PvtCorner {
+  spice::Corner process = spice::Corner::kTT;
+  double vdd = 1.8;       ///< supply [V]
+  double temp_c = 27.0;   ///< junction temperature [Celsius]
+
+  /// "SS @ 1.71 V / 85 C"-style label used in tables and CSV rows.
+  std::string label() const;
+};
+
+/// The five standard sign-off conditions: TT nominal, FF fast-cold-high,
+/// SS slow-hot-low, and the two skewed corners at nominal environment.
+/// `supply_tol` is the relative supply tolerance (0.05 = +-5%).
+std::vector<PvtCorner> standard_corners(double vdd_nom = 1.8,
+                                        double supply_tol = 0.05,
+                                        double temp_lo = -40.0,
+                                        double temp_hi = 85.0);
+
+/// Pass/fail thresholds a characterized trial is judged against.
+/// `from_constraints` derives them from the §4 channel statistics plus the
+/// nominal characterization: the input linear range must cover the p99
+/// squared-signal peak, the output slew must track the worst-case energy
+/// ramp, and gain/bandwidth must stay close enough to nominal that the
+/// AGC calibration and the integration window remain valid.
+struct YieldCriteria {
+  double min_input_range = 0.0;    ///< [V] >= constraints.squared_peak_p99
+  double min_slew_rate = 0.0;      ///< [V/s] >= constraints.slew_rate_p99
+  double min_unity_gain_hz = 0.0;  ///< [Hz] bandwidth-closure floor
+  double nominal_gain_db = 21.0;   ///< AGC calibration anchor [dB]
+  double gain_tol_db = 3.0;        ///< |gain - nominal| tolerance [dB]
+
+  static YieldCriteria from_constraints(const DesignConstraints& constraints,
+                                        const ItdCharacterization& nominal);
+};
+
+/// Violation bits of McTrial::violations.
+enum McViolation : unsigned {
+  kViolInputRange = 1u << 0,  ///< linear range below the p99 squared peak
+  kViolSlewRate = 1u << 1,    ///< slew below the worst-case energy ramp
+  kViolBandwidth = 1u << 2,   ///< unity-gain frequency below the floor
+  kViolGain = 1u << 3,        ///< DC gain outside the AGC tolerance
+  kViolNoConverge = 1u << 4,  ///< characterization itself failed
+};
+
+/// Monte-Carlo run description.
+struct McConfig {
+  spice::ItdSizing sizing;   ///< nominal cell (variation is overwritten per trial)
+  PvtCorner corner;          ///< PVT condition shared by all trials
+  int trials = 100;          ///< mismatch draws
+  std::uint64_t seed = 1;    ///< base seed; trial i uses derive_seed(seed, i)
+  double sigma_scale = 1.0;  ///< mismatch amplitude (0 = corner-only)
+  /// When true, the PVT corner of each trial is itself drawn uniformly
+  /// from standard_corners() (seeded per trial), crossing mismatch with
+  /// the full corner set in one yield figure.
+  bool sample_corners = false;
+  /// Per-trial measurement setup. Skipping a transient measurement
+  /// (measure_linear_range / measure_slew = false) also removes the
+  /// matching yield criterion for these trials and, for the linear range,
+  /// leaves the trial's behavioral model un-clamped — an unmeasured value
+  /// is never judged or modeled as a measured 0.
+  CharacterizeOptions characterize;
+
+  /// Behavioral BER propagation of each trial's fitted params
+  /// (uwb::TwoPoleIntegrator with the trial's clamp) — off by default
+  /// because it dominates trial cost.
+  bool with_ber = false;
+  double ebn0_db = 12.0;          ///< link operating point of the BER check
+  std::uint64_t ber_bits = 2000;  ///< simulated bits per trial
+  uwb::SystemConfig sys;          ///< system the BER check runs in
+};
+
+/// One characterized trial.
+struct McTrial {
+  int index = 0;
+  std::uint64_t seed = 0;       ///< derive_seed(config.seed, index)
+  PvtCorner corner;             ///< the PVT condition this trial saw
+  bool converged = false;       ///< characterization completed
+  double dc_gain_db = 0.0;
+  double f_pole1 = 0.0;         ///< [Hz]
+  double f_pole2 = 0.0;         ///< [Hz]
+  double unity_gain_freq = 0.0; ///< [Hz]
+  double input_linear_range = 0.0;  ///< [V]
+  double slew_rate = 0.0;           ///< [V/s]
+  double fit_rms_error_db = 0.0;
+  uwb::TwoPoleParams params;    ///< the trial's Phase-IV model
+  double ber = -1.0;            ///< behavioral BER (-1 when disabled)
+  unsigned violations = 0;      ///< McViolation bitmask
+  bool pass = false;            ///< violations == 0
+};
+
+/// Aggregate yield statistics over a trial set.
+struct McSummary {
+  int trials = 0;
+  int passes = 0;
+  double yield = 0.0;  ///< passes / trials
+  /// Failure counts per criterion (a trial can fail several).
+  int fail_input_range = 0;
+  int fail_slew_rate = 0;
+  int fail_bandwidth = 0;
+  int fail_gain = 0;
+  int fail_no_converge = 0;
+  /// Parameter distributions over the converged trials.
+  base::QuantileSummary gain_db;
+  base::QuantileSummary f_pole1_hz;
+  base::QuantileSummary f_pole2_hz;
+  base::QuantileSummary unity_gain_hz;
+  base::QuantileSummary input_range_v;
+  base::QuantileSummary slew_rate_vps;
+  base::QuantileSummary ber;  ///< only when BER propagation ran
+};
+
+/// Full result: the per-trial table plus its summary and the criteria it
+/// was judged against.
+struct McResult {
+  std::vector<McTrial> trials;
+  McSummary summary;
+  YieldCriteria criteria;
+};
+
+/// Applies the violation bitmask / pass flag of one characterized trial.
+void judge_trial(McTrial* trial, const YieldCriteria& criteria);
+
+/// Runs trial `index` of `config`: derives the trial seed, builds the
+/// mismatched corner cards, re-characterizes the cell and (optionally)
+/// measures the behavioral BER with the trial's fitted parameters.
+/// Deterministic in (config, index) alone. A non-converging trial is
+/// returned with `converged = false` and kViolNoConverge set rather than
+/// thrown, so one bad draw cannot kill a sweep.
+McTrial run_mc_trial(const McConfig& config, int index,
+                     const YieldCriteria& criteria);
+
+/// Fans `config.trials` trials over `pool` and aggregates the summary.
+/// Bit-identical for any pool size (each trial depends only on its index).
+McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
+                         const base::ParallelRunner& pool);
+
+/// Renders the per-trial CSV table (one row per trial, %.17g values — the
+/// artifact the CI determinism gate byte-compares across --jobs).
+std::string trials_to_csv(const std::vector<McTrial>& trials);
+
+/// Renders the yield summary as a JSON document (yield, failure counts,
+/// per-parameter quantiles, criteria).
+std::string summary_to_json(const McResult& result);
+
+}  // namespace uwbams::core

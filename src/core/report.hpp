@@ -1,4 +1,5 @@
-// report.hpp — paper-style result formatting shared by the benches.
+/// @file report.hpp
+/// @brief Paper-style result formatting shared by the benches.
 #pragma once
 
 #include <string>
@@ -9,10 +10,10 @@
 
 namespace uwbams::core {
 
-// Renders Table 1 ("CPU time comparison") with ratios against IDEAL.
+/// Renders Table 1 ("CPU time comparison") with ratios against IDEAL.
 std::string render_cpu_table(const std::vector<SystemRunResult>& runs);
 
-// Renders Table 2 ("TWR simulation results") for a set of named runs.
+/// Renders Table 2 ("TWR simulation results") for a set of named runs.
 struct NamedTwr {
   std::string name;
   uwb::TwrResult result;
@@ -20,7 +21,7 @@ struct NamedTwr {
 std::string render_twr_table(const std::vector<NamedTwr>& runs,
                              double true_distance);
 
-// h:mm:ss-style formatting used by the CPU table.
+/// h:mm:ss-style formatting used by the CPU table.
 std::string format_duration(double seconds);
 
 }  // namespace uwbams::core

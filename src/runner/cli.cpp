@@ -20,7 +20,7 @@ constexpr const char* kUsage =
     "  --list            list registered scenarios and exit\n"
     "  --all             run every registered scenario\n"
     "  --group=G         with --list/--all: restrict to a group\n"
-    "                    (bench | ablation | example)\n"
+    "                    (bench | mc | ablation | example)\n"
     "  --scale=S         workload tier: fast | default | full\n"
     "  --jobs=N          worker threads for sweeps (0 = all cores)\n"
     "  --seed=N          base seed for the scenario's sweeps\n"

@@ -35,32 +35,45 @@ ItdTerminals build_integrate_and_dump(Circuit& ckt, const ItdSizing& sz) {
   const NodeId nrefm = ckt.node("nrefmid");
   const NodeId ctrlpb = ckt.node("ctrlp_bar");
 
-  const MosModel nmos = builtin_model("nmos");
-  const MosModel pmos = builtin_model("pmos");
-  const MosModel nmos_lv = builtin_model("nmos_lv");
+  // Every device gets its own card: the sizing's ModelVariation folds the
+  // process corner, temperature and the device's mismatch draw into the
+  // builtin card. At the nominal variation this returns the builtin card
+  // unchanged, so the unvaried cell is bit-identical to the historical one.
+  const MosModel nmos_base = builtin_model("nmos");
+  const MosModel pmos_base = builtin_model("pmos");
+  const MosModel nmos_lv_base = builtin_model("nmos_lv");
+  auto nmos = [&](const char* dev, double w, double l) {
+    return sz.variation.apply(nmos_base, dev, w, l);
+  };
+  auto pmos = [&](const char* dev, double w, double l) {
+    return sz.variation.apply(pmos_base, dev, w, l);
+  };
+  auto nmos_lv = [&](const char* dev, double w, double l) {
+    return sz.variation.apply(nmos_lv_base, dev, w, l);
+  };
 
   // --- Transconductance amplifier -----------------------------------------
   // Input source followers (LV for overdrive headroom; aspect ratio ~20).
-  ckt.add<Mosfet>("M1", nd1, t.inp, na, gnd, nmos_lv, sz.w_in, sz.l_in);
-  ckt.add<Mosfet>("M2", nd2, t.inm, nb, gnd, nmos_lv, sz.w_in, sz.l_in);
+  ckt.add<Mosfet>("M1", nd1, t.inp, na, gnd, nmos_lv("M1", sz.w_in, sz.l_in), sz.w_in, sz.l_in);
+  ckt.add<Mosfet>("M2", nd2, t.inm, nb, gnd, nmos_lv("M2", sz.w_in, sz.l_in), sz.w_in, sz.l_in);
   // Follower current sinks (Vbias1).
-  ckt.add<Mosfet>("M3", na, vbias1, gnd, gnd, nmos, sz.w_sink, sz.l_sink);
-  ckt.add<Mosfet>("M4", nb, vbias1, gnd, gnd, nmos, sz.w_sink, sz.l_sink);
+  ckt.add<Mosfet>("M3", na, vbias1, gnd, gnd, nmos("M3", sz.w_sink, sz.l_sink), sz.w_sink, sz.l_sink);
+  ckt.add<Mosfet>("M4", nb, vbias1, gnd, gnd, nmos("M4", sz.w_sink, sz.l_sink), sz.w_sink, sz.l_sink);
   // Degeneration resistor: differential input current i = vin_d * Gm_in.
   ckt.add<Resistor>("Rdeg", na, nb, sz.r_deg);
   // pMOS mirror diodes.
-  ckt.add<Mosfet>("M5", nd1, nd1, t.vdd, t.vdd, pmos, sz.w_pdiode, sz.l_pdiode);
-  ckt.add<Mosfet>("M6", nd2, nd2, t.vdd, t.vdd, pmos, sz.w_pdiode, sz.l_pdiode);
+  ckt.add<Mosfet>("M5", nd1, nd1, t.vdd, t.vdd, pmos("M5", sz.w_pdiode, sz.l_pdiode), sz.w_pdiode, sz.l_pdiode);
+  ckt.add<Mosfet>("M6", nd2, nd2, t.vdd, t.vdd, pmos("M6", sz.w_pdiode, sz.l_pdiode), sz.w_pdiode, sz.l_pdiode);
   // Direct 2x mirrors to the opposite outputs.
-  ckt.add<Mosfet>("M7", t.outm, nd1, t.vdd, t.vdd, pmos, sz.w_pmir2, sz.l_pdiode);
-  ckt.add<Mosfet>("M8", t.outp, nd2, t.vdd, t.vdd, pmos, sz.w_pmir2, sz.l_pdiode);
+  ckt.add<Mosfet>("M7", t.outm, nd1, t.vdd, t.vdd, pmos("M7", sz.w_pmir2, sz.l_pdiode), sz.w_pmir2, sz.l_pdiode);
+  ckt.add<Mosfet>("M8", t.outp, nd2, t.vdd, t.vdd, pmos("M8", sz.w_pmir2, sz.l_pdiode), sz.w_pmir2, sz.l_pdiode);
   // Second path: unit pMOS mirror -> nMOS diode -> 1.8x nMOS sink.
-  ckt.add<Mosfet>("M9", nx1, nd1, t.vdd, t.vdd, pmos, sz.w_pmir1, sz.l_pdiode);
-  ckt.add<Mosfet>("M10", nx1, nx1, gnd, gnd, nmos, sz.w_ndiode, sz.l_ndiode);
-  ckt.add<Mosfet>("M11", t.outp, nx1, gnd, gnd, nmos, sz.w_nmir, sz.l_ndiode);
-  ckt.add<Mosfet>("M12", nx2, nd2, t.vdd, t.vdd, pmos, sz.w_pmir1, sz.l_pdiode);
-  ckt.add<Mosfet>("M13", nx2, nx2, gnd, gnd, nmos, sz.w_ndiode, sz.l_ndiode);
-  ckt.add<Mosfet>("M14", t.outm, nx2, gnd, gnd, nmos, sz.w_nmir, sz.l_ndiode);
+  ckt.add<Mosfet>("M9", nx1, nd1, t.vdd, t.vdd, pmos("M9", sz.w_pmir1, sz.l_pdiode), sz.w_pmir1, sz.l_pdiode);
+  ckt.add<Mosfet>("M10", nx1, nx1, gnd, gnd, nmos("M10", sz.w_ndiode, sz.l_ndiode), sz.w_ndiode, sz.l_ndiode);
+  ckt.add<Mosfet>("M11", t.outp, nx1, gnd, gnd, nmos("M11", sz.w_nmir, sz.l_ndiode), sz.w_nmir, sz.l_ndiode);
+  ckt.add<Mosfet>("M12", nx2, nd2, t.vdd, t.vdd, pmos("M12", sz.w_pmir1, sz.l_pdiode), sz.w_pmir1, sz.l_pdiode);
+  ckt.add<Mosfet>("M13", nx2, nx2, gnd, gnd, nmos("M13", sz.w_ndiode, sz.l_ndiode), sz.w_ndiode, sz.l_ndiode);
+  ckt.add<Mosfet>("M14", t.outm, nx2, gnd, gnd, nmos("M14", sz.w_nmir, sz.l_ndiode), sz.w_nmir, sz.l_ndiode);
 
   // --- Common-mode feedback ------------------------------------------------
   ckt.add<Resistor>("Rs1", t.outp, ncm, sz.r_sense);
@@ -71,36 +84,36 @@ ItdTerminals build_integrate_and_dump(Circuit& ckt, const ItdSizing& sz) {
   // complete within the reset window.
   ckt.add<Resistor>("Rcm", ncm, vref, sz.r_cm_anchor);
   ckt.add<Resistor>("Rtail", t.vdd, nt, sz.r_tail);
-  ckt.add<Mosfet>("M15", ne1, ncm, nt, t.vdd, pmos, sz.w_cm_pair, sz.l_cm_pair);
-  ckt.add<Mosfet>("M16", vcmfb, vref, nt, t.vdd, pmos, sz.w_cm_pair, sz.l_cm_pair);
-  ckt.add<Mosfet>("M17", ne1, ne1, gnd, gnd, nmos, sz.w_cm_diode, sz.l_cm_diode);
-  ckt.add<Mosfet>("M18", vcmfb, vcmfb, gnd, gnd, nmos, sz.w_cm_diode, sz.l_cm_diode);
+  ckt.add<Mosfet>("M15", ne1, ncm, nt, t.vdd, pmos("M15", sz.w_cm_pair, sz.l_cm_pair), sz.w_cm_pair, sz.l_cm_pair);
+  ckt.add<Mosfet>("M16", vcmfb, vref, nt, t.vdd, pmos("M16", sz.w_cm_pair, sz.l_cm_pair), sz.w_cm_pair, sz.l_cm_pair);
+  ckt.add<Mosfet>("M17", ne1, ne1, gnd, gnd, nmos("M17", sz.w_cm_diode, sz.l_cm_diode), sz.w_cm_diode, sz.l_cm_diode);
+  ckt.add<Mosfet>("M18", vcmfb, vcmfb, gnd, gnd, nmos("M18", sz.w_cm_diode, sz.l_cm_diode), sz.w_cm_diode, sz.l_cm_diode);
   // Correction sinks at the OTA outputs (ratio ~0.4 of M18).
-  ckt.add<Mosfet>("M19", t.outp, vcmfb, gnd, gnd, nmos, sz.w_cm_sink, sz.l_cm_sink);
-  ckt.add<Mosfet>("M20", t.outm, vcmfb, gnd, gnd, nmos, sz.w_cm_sink, sz.l_cm_sink);
+  ckt.add<Mosfet>("M19", t.outp, vcmfb, gnd, gnd, nmos("M19", sz.w_cm_sink, sz.l_cm_sink), sz.w_cm_sink, sz.l_cm_sink);
+  ckt.add<Mosfet>("M20", t.outm, vcmfb, gnd, gnd, nmos("M20", sz.w_cm_sink, sz.l_cm_sink), sz.w_cm_sink, sz.l_cm_sink);
   ckt.add<Capacitor>("Ccmfb", vcmfb, gnd, sz.c_cmfb);
 
   // --- Auto-biasing networks ----------------------------------------------
   // Network 1: R + nMOS diode -> Vbias1 (~1.7 uA reference).
   ckt.add<Resistor>("Rb", t.vdd, vbias1, sz.r_bias);
-  ckt.add<Mosfet>("M21", vbias1, vbias1, gnd, gnd, nmos, sz.w_sink, sz.l_sink);
+  ckt.add<Mosfet>("M21", vbias1, vbias1, gnd, gnd, nmos("M21", sz.w_sink, sz.l_sink), sz.w_sink, sz.l_sink);
   // Network 2: stacked diode string -> Vref (~0.94 V CM reference).
-  ckt.add<Mosfet>("M22", vref, vref, t.vdd, t.vdd, pmos, sz.w_ref_p, sz.l_ref_p);
-  ckt.add<Mosfet>("M23", vref, vref, nrefm, gnd, nmos, sz.w_ref_n, sz.l_ref_n);
-  ckt.add<Mosfet>("M24", nrefm, nrefm, gnd, gnd, nmos, sz.w_ref_n, sz.l_ref_n);
+  ckt.add<Mosfet>("M22", vref, vref, t.vdd, t.vdd, pmos("M22", sz.w_ref_p, sz.l_ref_p), sz.w_ref_p, sz.l_ref_p);
+  ckt.add<Mosfet>("M23", vref, vref, nrefm, gnd, nmos("M23", sz.w_ref_n, sz.l_ref_n), sz.w_ref_n, sz.l_ref_n);
+  ckt.add<Mosfet>("M24", nrefm, nrefm, gnd, gnd, nmos("M24", sz.w_ref_n, sz.l_ref_n), sz.w_ref_n, sz.l_ref_n);
 
   // --- Integration switches -------------------------------------------------
   // Transmission gates OTA output -> integration capacitor (Controlp, with
   // the on-cell inverter providing the complementary pMOS gate drive).
-  ckt.add<Mosfet>("M25", t.outp, t.controlp, t.out_intp, gnd, nmos, sz.w_tg_n, sz.l_tg);
-  ckt.add<Mosfet>("M26", t.outp, ctrlpb, t.out_intp, t.vdd, pmos, sz.w_tg_p, sz.l_tg);
-  ckt.add<Mosfet>("M27", t.outm, t.controlp, t.out_intm, gnd, nmos, sz.w_tg_n, sz.l_tg);
-  ckt.add<Mosfet>("M28", t.outm, ctrlpb, t.out_intm, t.vdd, pmos, sz.w_tg_p, sz.l_tg);
+  ckt.add<Mosfet>("M25", t.outp, t.controlp, t.out_intp, gnd, nmos("M25", sz.w_tg_n, sz.l_tg), sz.w_tg_n, sz.l_tg);
+  ckt.add<Mosfet>("M26", t.outp, ctrlpb, t.out_intp, t.vdd, pmos("M26", sz.w_tg_p, sz.l_tg), sz.w_tg_p, sz.l_tg);
+  ckt.add<Mosfet>("M27", t.outm, t.controlp, t.out_intm, gnd, nmos("M27", sz.w_tg_n, sz.l_tg), sz.w_tg_n, sz.l_tg);
+  ckt.add<Mosfet>("M28", t.outm, ctrlpb, t.out_intm, t.vdd, pmos("M28", sz.w_tg_p, sz.l_tg), sz.w_tg_p, sz.l_tg);
   // Reset switch across the capacitor (Controlm).
-  ckt.add<Mosfet>("M29", t.out_intp, t.controlm, t.out_intm, gnd, nmos, sz.w_rst, sz.l_rst);
+  ckt.add<Mosfet>("M29", t.out_intp, t.controlm, t.out_intm, gnd, nmos("M29", sz.w_rst, sz.l_rst), sz.w_rst, sz.l_rst);
   // Control inverter.
-  ckt.add<Mosfet>("M30", ctrlpb, t.controlp, gnd, gnd, nmos, sz.w_inv_n, sz.l_inv);
-  ckt.add<Mosfet>("M31", ctrlpb, t.controlp, t.vdd, t.vdd, pmos, sz.w_inv_p, sz.l_inv);
+  ckt.add<Mosfet>("M30", ctrlpb, t.controlp, gnd, gnd, nmos("M30", sz.w_inv_n, sz.l_inv), sz.w_inv_n, sz.l_inv);
+  ckt.add<Mosfet>("M31", ctrlpb, t.controlp, t.vdd, t.vdd, pmos("M31", sz.w_inv_p, sz.l_inv), sz.w_inv_p, sz.l_inv);
 
   // Integration capacitor (the paper's nominal 1 pF load).
   ckt.add<Capacitor>("Cint", t.out_intp, t.out_intm, sz.c_int);

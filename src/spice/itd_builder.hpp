@@ -27,6 +27,7 @@
 #include <string>
 
 #include "spice/circuit.hpp"
+#include "spice/model_card.hpp"
 
 namespace uwbams::spice {
 
@@ -65,6 +66,13 @@ struct ItdSizing {
   double w_tg_n = 2.0e-6, w_tg_p = 0.6e-6, l_tg = 0.18e-6;  ///< charge-balanced (Qp ~ Qn at the on-state overdrives)
   double w_rst = 2.0e-6, l_rst = 0.18e-6;
   double w_inv_n = 0.36e-6, w_inv_p = 0.72e-6, l_inv = 0.18e-6;
+
+  /// Statistical condition of the build: process corner, temperature and
+  /// per-device mismatch applied to every model card the builder draws
+  /// (see ModelVariation). Defaults to nominal, which reproduces the
+  /// unvaried cell bit-for-bit. Supply variation is expressed through
+  /// `vdd` directly (core::PvtCorner sets both together).
+  ModelVariation variation;
 };
 
 /// Interface node ids of a built cell.

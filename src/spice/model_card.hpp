@@ -1,12 +1,21 @@
 /// @file model_card.hpp
-/// @brief MOSFET model parameter cards.
+/// @brief MOSFET model parameter cards, process corners and mismatch.
 ///
 /// A Level-1 (Shichman–Hodges) parameter set with Meyer capacitances. The
 /// built-in cards approximate a 0.18 um mixed-mode 1.8 V CMOS process of the
 /// class the paper uses (UMC 0.18 um), including the low-threshold (LV)
 /// device flavors the integrator exploits for overdrive headroom.
+///
+/// The statistical layer on top of the nominal cards drives the Monte-Carlo
+/// characterization pipeline (core/montecarlo.hpp): `Corner` names the five
+/// classic process corners, and `ModelVariation` turns a nominal card into a
+/// corner/temperature-shifted, per-device-mismatched card deterministically
+/// (the mismatch draw depends only on the seed and the device name, never on
+/// build order — the contract that keeps Monte-Carlo trials bit-identical
+/// for any worker count).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace uwbams::spice {
@@ -34,5 +43,74 @@ struct MosModel {
 /// Built-in 0.18 um-class cards: "nmos", "pmos", "nmos_lv", "pmos_lv".
 /// Throws std::invalid_argument for unknown names.
 MosModel builtin_model(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Process corners and per-device mismatch.
+// ---------------------------------------------------------------------------
+
+/// The five classic process corners (nMOS speed / pMOS speed).
+enum class Corner {
+  kTT,  ///< typical / typical (nominal)
+  kFF,  ///< fast / fast
+  kSS,  ///< slow / slow
+  kFS,  ///< fast nMOS / slow pMOS
+  kSF,  ///< slow nMOS / fast pMOS
+};
+
+/// Short upper-case corner name ("TT", "FF", ...).
+const char* to_string(Corner corner);
+
+/// Parses a corner name (case-insensitive). Returns false on unknown text.
+bool parse_corner(const std::string& text, Corner* out);
+
+/// All five corners in declaration order (TT first).
+const Corner* all_corners(std::size_t* count);
+
+/// Deterministic PVT-corner + mismatch transform of a nominal model card.
+///
+/// The transform has three independent components, applied in this order:
+///
+///  1. **Process corner** — a fast device loses 40 mV of threshold
+///     magnitude and gains 10% transconductance; a slow device the
+///     opposite. Which polarity a device sees follows its type (nMOS /
+///     pMOS) and the corner name.
+///  2. **Temperature** — mobility degrades as (T/T0)^-1.5 (kp scales with
+///     it) and the threshold magnitude drops 1.5 mV/K above the 27 C
+///     reference, the standard Level-1 temperature model.
+///  3. **Mismatch** — per-device Gaussian draws on vt0 (additive) and kp
+///     (relative), with Pelgrom area scaling: sigma_vt = A_vt/sqrt(W*L),
+///     sigma_kp/kp = A_kp/sqrt(W*L). The draw is seeded from
+///     (mismatch_seed, device name) only, so it does not depend on the
+///     order devices are built in — two circuits built from the same
+///     seed agree device-by-device, which is what makes Monte-Carlo
+///     trials reproducible across --jobs counts.
+///
+/// A default-constructed ModelVariation `is_nominal()` and `apply()` then
+/// returns the base card *unchanged* (bit-for-bit), so nominal flows are
+/// unaffected by the statistical layer.
+struct ModelVariation {
+  Corner corner = Corner::kTT;      ///< process corner
+  double temp_c = 27.0;             ///< device temperature [Celsius]
+  double sigma_scale = 0.0;         ///< mismatch amplitude (0 = off, 1 = nominal Pelgrom)
+  std::uint64_t mismatch_seed = 0;  ///< base seed of the per-device draws
+
+  /// Corner threshold shift magnitude [V] (fast: -, slow: +).
+  double corner_dvt = 40e-3;
+  /// Corner relative transconductance shift (fast: +, slow: -).
+  double corner_dkp = 0.10;
+  /// Pelgrom threshold-matching coefficient [V*m] (3.5 mV*um).
+  double pelgrom_avt = 3.5e-9;
+  /// Pelgrom relative-kp matching coefficient [m] (1% * um).
+  double pelgrom_akp = 1.0e-8;
+
+  /// True when apply() is the identity (TT, 27 C, no mismatch).
+  bool is_nominal() const;
+
+  /// Returns the corner/temperature/mismatch-adjusted card for one device
+  /// instance. `device` is the instance name (e.g. "M7"); `w`/`l` are the
+  /// drawn dimensions [m] used for Pelgrom area scaling.
+  MosModel apply(const MosModel& base, const std::string& device,
+                 double w, double l) const;
+};
 
 }  // namespace uwbams::spice

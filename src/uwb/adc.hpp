@@ -1,7 +1,8 @@
-// adc.hpp — uniform quantizers: the I&D-output ADC and the AGC gain DAC.
-//
-// Quantization of both converters is one of the non-idealities the paper's
-// Phase II explicitly keeps in the behavioral system model.
+/// @file adc.hpp
+/// @brief Uniform quantizers: the I&D-output ADC and the AGC gain DAC.
+///
+/// Quantization of both converters is one of the non-idealities the paper's
+/// Phase II explicitly keeps in the behavioral system model.
 #pragma once
 
 namespace uwbams::uwb {
@@ -13,9 +14,9 @@ class Adc {
   int bits() const { return bits_; }
   int max_code() const { return max_code_; }
   double lsb() const { return lsb_; }
-  // Saturating uniform quantization.
+  /// Saturating uniform quantization.
   int quantize(double v) const;
-  // Center voltage of a code (inverse map).
+  /// Center voltage of a code (inverse map).
   double code_to_voltage(int code) const;
 
  private:
@@ -31,8 +32,8 @@ class Dac {
 
   int bits() const { return bits_; }
   int max_code() const { return max_code_; }
-  double value(int code) const;  // code clamped to range
-  // Nearest code for a target value.
+  double value(int code) const;  ///< code clamped to range
+  /// Nearest code for a target value.
   int nearest_code(double v) const;
 
  private:

@@ -1,14 +1,15 @@
-// agc.hpp — automatic gain control with a quantizing gain DAC.
-//
-// The VGA "adapts the signal gain in such a way that the input dynamics of
-// the ADC is fully exploited; its gain is controlled in steps using a DA
-// converter" (paper §2). The controller converts the energy-code error to a
-// gain-code correction in the dB domain (the integrator output scales with
-// the square of the voltage gain, hence the factor 10 rather than 20).
-//
-// The paper's §5 conclusion proposes a *two-stage* AGC (input-amplitude
-// stage + integrator-output stage); set `post_gain_enabled` to exercise
-// that proposed architecture (see bench/ablation_two_stage_agc).
+/// @file agc.hpp
+/// @brief Automatic gain control with a quantizing gain DAC.
+///
+/// The VGA "adapts the signal gain in such a way that the input dynamics of
+/// the ADC is fully exploited; its gain is controlled in steps using a DA
+/// converter" (paper §2). The controller converts the energy-code error to a
+/// gain-code correction in the dB domain (the integrator output scales with
+/// the square of the voltage gain, hence the factor 10 rather than 20).
+///
+/// The paper's §5 conclusion proposes a *two-stage* AGC (input-amplitude
+/// stage + integrator-output stage); set `post_gain_enabled` to exercise
+/// that proposed architecture (see bench/ablation_two_stage_agc).
 #pragma once
 
 #include "uwb/adc.hpp"
@@ -20,27 +21,27 @@ struct AgcConfig {
   double vga_min_db = 0.0;
   double vga_max_db = 40.0;
   int dac_bits = 6;
-  int target_code = 24;  // desired peak energy code (of a 5-bit ADC: 0..31)
+  int target_code = 24;  ///< desired peak energy code (of a 5-bit ADC: 0..31)
   int adc_max_code = 31;
-  // Proposed two-stage extension: a digital post-scale between integrator
-  // and ADC letting the input stage respect the integrator linear range.
+  /// Proposed two-stage extension: a digital post-scale between integrator
+  /// and ADC letting the input stage respect the integrator linear range.
   bool post_gain_enabled = false;
-  double input_peak_target = 0.09;  // [V] squared-signal peak kept in range
+  double input_peak_target = 0.09;  ///< [V] squared-signal peak kept in range
 };
 
 class AgcController {
  public:
   AgcController(Amplifier& vga, const AgcConfig& cfg);
 
-  // One AGC iteration from the peak energy code observed over the last
-  // symbol (and, for the two-stage variant, the observed squared-signal
-  // peak voltage). Returns true if the gain changed.
+  /// One AGC iteration from the peak energy code observed over the last
+  /// symbol (and, for the two-stage variant, the observed squared-signal
+  /// peak voltage). Returns true if the gain changed.
   bool update(int peak_code, double squared_peak_v = 0.0);
 
   int gain_code() const { return code_; }
   double gain_db() const { return dac_.value(code_); }
-  // Digital post-scale applied to integrator samples (1.0 unless the
-  // two-stage architecture is enabled).
+  /// Digital post-scale applied to integrator samples (1.0 unless the
+  /// two-stage architecture is enabled).
   double post_scale() const { return post_scale_; }
   int iterations() const { return iterations_; }
 

@@ -1,11 +1,12 @@
-// ber.hpp — bit-error-rate measurement (Fig. 6) and the semi-analytic
-// energy-detection reference used to validate the simulated chain.
-//
-// BER runs use genie timing (the paper's Phase I/II setup: "a control
-// signal forced by an ideal synchronizer") so the measured error rate
-// isolates the detector itself. The channel is AWGN with a configurable
-// received pulse amplitude; Eb/N0 sets the noise PSD from the received
-// pulse energy.
+/// @file ber.hpp
+/// @brief Bit-error-rate measurement (Fig. 6) and the semi-analytic
+/// energy-detection reference used to validate the simulated chain.
+///
+/// BER runs use genie timing (the paper's Phase I/II setup: "a control
+/// signal forced by an ideal synchronizer") so the measured error rate
+/// isolates the detector itself. The channel is AWGN with a configurable
+/// received pulse amplitude; Eb/N0 sets the noise PSD from the received
+/// pulse energy.
 #pragma once
 
 #include <cstdint>
@@ -19,22 +20,22 @@ namespace uwbams::uwb {
 struct BerConfig {
   SystemConfig sys;
   std::vector<double> ebn0_db = {0, 2, 4, 6, 8, 10, 12, 14};
-  std::uint64_t max_bits = 20000;   // per Eb/N0 point
-  std::uint64_t min_errors = 30;    // early stop once reached
-  int batch_bits = 200;             // payload bits per simulated packet
-  double rx_pulse_peak = 10e-3;     // received pulse amplitude [V]
-  // Gain-calibration target as a fraction of the ADC full scale. This is
-  // the AGC operating point of the paper's §5 discussion: warm targets
-  // (>0.2) exploit the ADC but push the squared signal beyond the
-  // integrator linear range (compression penalty); the default cold target
-  // keeps the signal inside the range, where the clamp censors noise
-  // spikes and the circuit integrator *outperforms* the ideal one at high
-  // Eb/N0 (the paper's Fig. 6 crossover).
+  std::uint64_t max_bits = 20000;   ///< per Eb/N0 point
+  std::uint64_t min_errors = 30;    ///< early stop once reached
+  int batch_bits = 200;             ///< payload bits per simulated packet
+  double rx_pulse_peak = 10e-3;     ///< received pulse amplitude [V]
+  /// Gain-calibration target as a fraction of the ADC full scale. This is
+  /// the AGC operating point of the paper's §5 discussion: warm targets
+  /// (>0.2) exploit the ADC but push the squared signal beyond the
+  /// integrator linear range (compression penalty); the default cold target
+  /// keeps the signal inside the range, where the clamp censors noise
+  /// spikes and the circuit integrator *outperforms* the ideal one at high
+  /// Eb/N0 (the paper's Fig. 6 crossover).
   double calibration_fraction = 0.12;
-  // Worker threads for the sweep. Every Eb/N0 point owns an independent
-  // GenieLink seeded from the system seed and the point's Eb/N0 value
-  // alone, so the result is bit-identical for any job count (<=1 runs the
-  // points inline on the calling thread).
+  /// Worker threads for the sweep. Every Eb/N0 point owns an independent
+  /// GenieLink seeded from the system seed and the point's Eb/N0 value
+  /// alone, so the result is bit-identical for any job count (<=1 runs the
+  /// points inline on the calling thread).
   int jobs = 1;
 
   BerConfig() {
@@ -53,21 +54,21 @@ struct BerPoint {
   double ber = 0.0;
   std::uint64_t bits = 0;
   std::uint64_t errors = 0;
-  double half_width_95 = 0.0;  // Wilson interval half width
+  double half_width_95 = 0.0;  ///< Wilson interval half width
 };
 
-// Monte-Carlo sweep of the full analog/digital chain with the given
-// integrator fidelity.
+/// Monte-Carlo sweep of the full analog/digital chain with the given
+/// integrator fidelity.
 std::vector<BerPoint> run_ber_sweep(const BerConfig& config,
                                     const IntegratorFactory& make_integrator);
 
-// Semi-analytic 2-PPM energy-detection BER (Gaussian approximation of the
-// chi-square statistics):  Pe = Q( r / sqrt(2 r + 2 M) ),  r = Eb/N0,
-// M = B*T the time-bandwidth (pairs-of-dof) product.
+/// Semi-analytic 2-PPM energy-detection BER (Gaussian approximation of the
+/// chi-square statistics):  Pe = Q( r / sqrt(2 r + 2 M) ),  r = Eb/N0,
+/// M = B*T the time-bandwidth (pairs-of-dof) product.
 double energy_detection_ber_theory(double ebn0_db, double tw_product);
 
-// Effective noise time-bandwidth product of the receiver for a config
-// (single-pole VGA bandwidth model; used for the theory overlay).
+/// Effective noise time-bandwidth product of the receiver for a config
+/// (single-pole VGA bandwidth model; used for the theory overlay).
 double receiver_tw_product(const SystemConfig& sys);
 
 }  // namespace uwbams::uwb

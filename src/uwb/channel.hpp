@@ -1,12 +1,13 @@
-// channel.hpp — IEEE 802.15.4a CM1 channel model + AWGN propagation block.
-//
-// The TWR experiments of the paper use "the TG4a UWB channel model CM1 LOS
-// with the recommended path loss". CM1 (residential LOS) is a
-// Saleh-Valenzuela model: Poisson cluster arrivals with exponential
-// inter-cluster decay, mixed-Poisson ray arrivals with exponential
-// intra-cluster decay, Nakagami-m small-scale fading per ray (lognormal m),
-// and a d^n path-loss law. Parameters below are the TG4a final-report CM1
-// values.
+/// @file channel.hpp
+/// @brief IEEE 802.15.4a CM1 channel model + AWGN propagation block.
+///
+/// The TWR experiments of the paper use "the TG4a UWB channel model CM1 LOS
+/// with the recommended path loss". CM1 (residential LOS) is a
+/// Saleh-Valenzuela model: Poisson cluster arrivals with exponential
+/// inter-cluster decay, mixed-Poisson ray arrivals with exponential
+/// intra-cluster decay, Nakagami-m small-scale fading per ray (lognormal m),
+/// and a d^n path-loss law. Parameters below are the TG4a final-report CM1
+/// values.
 #pragma once
 
 #include <cstdint>
@@ -19,84 +20,84 @@
 namespace uwbams::uwb {
 
 struct SalehValenzuelaParams {
-  double cluster_rate = 0.047e9;   // Lambda [1/s]
-  double ray_rate1 = 1.54e9;       // lambda_1 [1/s] (mixed Poisson)
-  double ray_rate2 = 0.15e9;       // lambda_2 [1/s]
-  double ray_mix_beta = 0.095;     // P(ray uses rate 1)
-  double cluster_decay = 22.61e-9; // Gamma [s]
-  double ray_decay = 12.53e-9;     // gamma [s]
-  double mean_clusters = 3.0;      // E[L], Poisson
-  double nakagami_m_median = 0.67; // lognormal m-factor median
-  double nakagami_m_sigma = 0.28;  // lognormal sigma (natural log domain)
-  double nakagami_m_first = 3.0;   // LOS first path fades much less (4a
-                                   // report: stronger m for the first
-                                   // component)
-  double max_excess_delay = 120e-9;  // truncation of the power-delay profile
-  int max_taps = 64;               // keep this many strongest taps
+  double cluster_rate = 0.047e9;   ///< Lambda [1/s]
+  double ray_rate1 = 1.54e9;       ///< lambda_1 [1/s] (mixed Poisson)
+  double ray_rate2 = 0.15e9;       ///< lambda_2 [1/s]
+  double ray_mix_beta = 0.095;     ///< P(ray uses rate 1)
+  double cluster_decay = 22.61e-9; ///< Gamma [s]
+  double ray_decay = 12.53e-9;     ///< gamma [s]
+  double mean_clusters = 3.0;      ///< E[L], Poisson
+  double nakagami_m_median = 0.67; ///< lognormal m-factor median
+  double nakagami_m_sigma = 0.28;  ///< lognormal sigma (natural log domain)
+  double nakagami_m_first = 3.0;   ///< LOS first path fades much less (4a
+                                   ///< report: stronger m for the first
+                                   ///< component)
+  double max_excess_delay = 120e-9;  ///< truncation of the power-delay profile
+  int max_taps = 64;               ///< keep this many strongest taps
 };
 
 struct ChannelTap {
-  double delay = 0.0;  // excess delay relative to the first path [s]
-  double gain = 0.0;   // amplitude gain (signed)
+  double delay = 0.0;  ///< excess delay relative to the first path [s]
+  double gain = 0.0;   ///< amplitude gain (signed)
 };
 
 struct ChannelRealization {
-  std::vector<ChannelTap> taps;  // sorted by delay; unit total energy before
-                                 // the path-loss scale is applied
+  std::vector<ChannelTap> taps;  ///< sorted by delay; unit total energy before
+                                 ///< the path-loss scale is applied
   double total_energy() const;
-  // RMS delay spread of the tap powers [s].
+  /// RMS delay spread of the tap powers [s].
   double rms_delay_spread() const;
-  // Peak |gain|.
+  /// Peak |gain|.
   double peak_gain() const;
 };
 
-// Draws a CM1 realization with unit energy (before path loss).
+/// Draws a CM1 realization with unit energy (before path loss).
 ChannelRealization generate_cm1(base::Rng& rng,
                                 const SalehValenzuelaParams& params = {});
 
-// Free-space-style distance attenuation: PL(d) = PL0 + 10 n log10(d/1m) [dB].
+/// Free-space-style distance attenuation: PL(d) = PL0 + 10 n log10(d/1m) [dB].
 double path_loss_db(double distance_m, double pl0_db, double exponent);
 
-// Propagation + noise block: delays the transmit waveform by distance/c,
-// convolves with the tap set, adds white Gaussian noise of PSD N0/2.
-//
-// Batch-capable: step_block() writes the whole input batch into the delay
-// line first (the ring keeps kMaxBatch slots of headroom beyond the longest
-// tap so no pending history is overwritten), then accumulates tap
-// contributions per sample in tap order and draws the per-sample Gaussian
-// noise in sample order — the identical operation and RNG sequence of the
-// per-sample path, with the ring-index modulo hoisted out of the inner
-// loops.
+/// Propagation + noise block: delays the transmit waveform by distance/c,
+/// convolves with the tap set, adds white Gaussian noise of PSD N0/2.
+///
+/// Batch-capable: step_block() writes the whole input batch into the delay
+/// line first (the ring keeps kMaxBatch slots of headroom beyond the longest
+/// tap so no pending history is overwritten), then accumulates tap
+/// contributions per sample in tap order and draws the per-sample Gaussian
+/// noise in sample order — the identical operation and RNG sequence of the
+/// per-sample path, with the ring-index modulo hoisted out of the inner
+/// loops.
 class ChannelBlock : public ams::AnalogBlock {
  public:
-  // `input` is the transmitter output signal; it may be null at
-  // construction (treated as silence) and wired later with set_input(),
-  // which breaks the construction cycle of two-node full-duplex setups.
-  // The tap set defaults to a single unit tap (pure AWGN channel).
+  /// `input` is the transmitter output signal; it may be null at
+  /// construction (treated as silence) and wired later with set_input(),
+  /// which breaks the construction cycle of two-node full-duplex setups.
+  /// The tap set defaults to a single unit tap (pure AWGN channel).
   ChannelBlock(const SystemConfig& cfg, const double* input);
   void set_input(const double* input) { in_ = input; }
 
-  // --- tap-set reconfiguration ------------------------------------------
-  // Installing a realization, switching to AWGN-only or changing the
-  // distance rebuilds the sampled delay line and **clears the propagation
-  // history to silence** (write position reset, all line samples zeroed).
-  // Contract: call these between packets only, when the line has drained —
-  // an in-flight waveform (any nonzero line sample) is dropped on the
-  // floor, which the block records in history_discards() as a guard (a
-  // mid-burst rebuild is almost always a testbench sequencing bug).
+  /// --- tap-set reconfiguration ------------------------------------------
+  /// Installing a realization, switching to AWGN-only or changing the
+  /// distance rebuilds the sampled delay line and **clears the propagation
+  /// history to silence** (write position reset, all line samples zeroed).
+  /// Contract: call these between packets only, when the line has drained —
+  /// an in-flight waveform (any nonzero line sample) is dropped on the
+  /// floor, which the block records in history_discards() as a guard (a
+  /// mid-burst rebuild is almost always a testbench sequencing bug).
   void set_realization(const ChannelRealization& realization,
                        double amplitude_scale);
   void set_awgn_only(double amplitude_scale);
   void set_distance(double meters);
-  // Number of rebuilds that discarded non-silent delay-line history.
+  /// Number of rebuilds that discarded non-silent delay-line history.
   std::uint64_t history_discards() const { return history_discards_; }
 
-  // Extra whole-sample delay applied to every tap on top of the
-  // propagation delay (rebuilds the line). A full-duplex testbench that
-  // registers this block *after* the transmitter it listens to (forward
-  // dataflow, as the batched kernel requires) passes 1 to reproduce, bit
-  // for bit, the classic channel-before-transmitter registration in which
-  // the channel reads the previous sample of its input.
+  /// Extra whole-sample delay applied to every tap on top of the
+  /// propagation delay (rebuilds the line). A full-duplex testbench that
+  /// registers this block *after* the transmitter it listens to (forward
+  /// dataflow, as the batched kernel requires) passes 1 to reproduce, bit
+  /// for bit, the classic channel-before-transmitter registration in which
+  /// the channel reads the previous sample of its input.
   void set_input_delay(int samples);
   int input_delay() const { return input_delay_; }
 
@@ -120,10 +121,10 @@ class ChannelBlock : public ams::AnalogBlock {
   double n0_;
   double distance_;
   int input_delay_ = 0;
-  std::vector<ChannelTap> taps_;   // continuous-time description
+  std::vector<ChannelTap> taps_;   ///< continuous-time description
   double scale_ = 1.0;
   std::vector<SampledTap> sampled_;
-  std::vector<double> delay_line_;  // ring buffer (+ kMaxBatch headroom)
+  std::vector<double> delay_line_;  ///< ring buffer (+ kMaxBatch headroom)
   std::size_t write_pos_ = 0;
   std::uint64_t history_discards_ = 0;
   base::Rng rng_;

@@ -1,10 +1,11 @@
-// config.hpp — system-level parameters of the UWB transceiver testbench.
-//
-// One struct gathers every knob of the 2-PPM energy-detection link so that
-// benches, tests and examples share a single source of truth. Defaults
-// follow DESIGN.md §5 (and through it, the paper's setup: 0.05 ns fixed
-// step, 2-PPM with energy detection, 5-bit ADC over the 1.6 V integrator
-// swing, CM1 channel for ranging).
+/// @file config.hpp
+/// @brief System-level parameters of the UWB transceiver testbench.
+///
+/// One struct gathers every knob of the 2-PPM energy-detection link so that
+/// benches, tests and examples share a single source of truth. Defaults
+/// follow DESIGN.md §5 (and through it, the paper's setup: 0.05 ns fixed
+/// step, 2-PPM with energy detection, 5-bit ADC over the 1.6 V integrator
+/// swing, CM1 channel for ranging).
 #pragma once
 
 #include <cstdint>
@@ -12,100 +13,100 @@
 namespace uwbams::uwb {
 
 struct SystemConfig {
-  // Solver / sampling.
-  double dt = 0.05e-9;  // analog time step [s] (paper: 0.05 ns)
+  /// Solver / sampling.
+  double dt = 0.05e-9;  ///< analog time step [s] (paper: 0.05 ns)
 
-  // Modulation timing.
-  double symbol_period = 128e-9;    // Ts [s]; slot = Ts/2 (2-PPM)
-  double integration_window = 32e-9;  // I&D window per slot [s]
-  double reset_width = 12e-9;         // dump width at window start [s] (the
-                                      // circuit needs ~10 ns: CM recovery from
-                                      // switching injection gates the reset)
+  /// Modulation timing.
+  double symbol_period = 128e-9;    ///< Ts [s]; slot = Ts/2 (2-PPM)
+  double integration_window = 32e-9;  ///< I&D window per slot [s]
+  double reset_width = 12e-9;         ///< dump width at window start [s] (the
+                                      ///< circuit needs ~10 ns: CM recovery from
+                                      ///< switching injection gates the reset)
 
-  // Pulse shape (Gaussian 2nd derivative). Each symbol carries a short
-  // *train* of pulses in the selected slot (the paper modulates "a 2-PPM
-  // modulated train of UWB pulses"). The pulse bandwidth follows the
-  // 802.15.4a low-rate channelization (~500 MHz) the paper targets; the
-  // burst raises the per-symbol energy above the energy-ADC quantization
-  // floor and fills the integration window, which is what lets the Gm-C
-  // integrator (K ~ 6e7 1/s) produce ADC-scale outputs.
-  double pulse_sigma = 0.7e-9;   // [s]
-  // TX level set so the 9.9 m CM1 link reaches the AGC's ADC target — the
-  // operating point at which the paper's §5 AGC-vs-integrator-range
-  // tension plays out.
-  double pulse_amplitude = 1.2;  // peak TX amplitude at the antenna [V]
-  int pulses_per_symbol = 16;    // burst length
-  double pulse_spacing = 2e-9;   // intra-burst pulse spacing [s]
+  /// Pulse shape (Gaussian 2nd derivative). Each symbol carries a short
+  /// *train* of pulses in the selected slot (the paper modulates "a 2-PPM
+  /// modulated train of UWB pulses"). The pulse bandwidth follows the
+  /// 802.15.4a low-rate channelization (~500 MHz) the paper targets; the
+  /// burst raises the per-symbol energy above the energy-ADC quantization
+  /// floor and fills the integration window, which is what lets the Gm-C
+  /// integrator (K ~ 6e7 1/s) produce ADC-scale outputs.
+  double pulse_sigma = 0.7e-9;   ///< [s]
+  /// TX level set so the 9.9 m CM1 link reaches the AGC's ADC target — the
+  /// operating point at which the paper's §5 AGC-vs-integrator-range
+  /// tension plays out.
+  double pulse_amplitude = 1.2;  ///< peak TX amplitude at the antenna [V]
+  int pulses_per_symbol = 16;    ///< burst length
+  double pulse_spacing = 2e-9;   ///< intra-burst pulse spacing [s]
 
-  // Front-end bandwidths (single-pole models).
-  double lna_bandwidth = 1e9;    // [Hz]
-  double vga_bandwidth = 350e6;  // [Hz]; sets the detector noise bandwidth
+  /// Front-end bandwidths (single-pole models).
+  double lna_bandwidth = 1e9;    ///< [Hz]
+  double vga_bandwidth = 350e6;  ///< [Hz]; sets the detector noise bandwidth
 
-  // Packet structure.
-  int preamble_symbols = 32;  // unmodulated (slot-0) pulses
+  /// Packet structure.
+  int preamble_symbols = 32;  ///< unmodulated (slot-0) pulses
   int payload_bits = 64;
 
-  // Receiver front end.
+  /// Receiver front end.
   double lna_gain_db = 20.0;
-  double lna_sat = 0.6;        // LNA output clamp [V]
+  double lna_sat = 0.6;        ///< LNA output clamp [V]
   double vga_min_db = 0.0;
   double vga_max_db = 40.0;
-  int vga_dac_bits = 6;        // AGC gain DAC resolution (paper Phase II)
-  double vga_sat = 0.9;        // VGA output clamp [V]
-  double squarer_gain = 1.0;   // [1/V] output = k * v^2
+  int vga_dac_bits = 6;        ///< AGC gain DAC resolution (paper Phase II)
+  double vga_sat = 0.9;        ///< VGA output clamp [V]
+  double squarer_gain = 1.0;   ///< [1/V] output = k * v^2
 
-  // Integrator (nominal circuit figures; the spice variant derives them
-  // from the netlist itself).
-  double integrator_k = 6.23e7;     // ideal gain Gm/C [1/s]
-  double integrator_gain_db = 21.0; // behavioral DC gain [dB]
-  double integrator_f1 = 0.886e6;   // behavioral pole 1 [Hz]
-  double integrator_f2 = 5.895e9;   // behavioral pole 2 [Hz]
-  double integrator_clamp = 0.104;  // input linear range [V]; 0 = linear
+  /// Integrator (nominal circuit figures; the spice variant derives them
+  /// from the netlist itself).
+  double integrator_k = 6.23e7;     ///< ideal gain Gm/C [1/s]
+  double integrator_gain_db = 21.0; ///< behavioral DC gain [dB]
+  double integrator_f1 = 0.886e6;   ///< behavioral pole 1 [Hz]
+  double integrator_f2 = 5.895e9;   ///< behavioral pole 2 [Hz]
+  double integrator_clamp = 0.104;  ///< input linear range [V]; 0 = linear
 
-  // ADC on the integrator output. The full scale is matched to the
-  // realistic integrated-energy range, not the integrator's maximum swing:
-  // the AGC cannot push the energy to the 1.6 V swing without driving the
-  // squared signal far beyond the integrator input range (the very
-  // architectural tension the paper's §5 analyzes).
+  /// ADC on the integrator output. The full scale is matched to the
+  /// realistic integrated-energy range, not the integrator's maximum swing:
+  /// the AGC cannot push the energy to the 1.6 V swing without driving the
+  /// squared signal far beyond the integrator input range (the very
+  /// architectural tension the paper's §5 analyzes).
   int adc_bits = 5;
   double adc_vmin = 0.0;
   double adc_vmax = 0.5;
 
-  // Acquisition thresholds.
-  int noise_est_windows = 32;       // NE windows before preamble sense
-  double sense_factor = 4.0;        // PS threshold = factor * noise stddev
-  int agc_settle_symbols = 10;      // symbols granted to the AGC loop
-  int sync_symbols = 6;             // symbols scored per coarse hypothesis
-  double fine_step = 2e-9;          // fine ToA sweep step [s]
-  double fine_window = 8e-9;        // short integration for the edge search
-  // Constant subtracted from the raw leading-edge crossing: the burst edge
-  // must deliver `threshold` worth of energy before the crossing fires, a
-  // fixed group delay calibrated out against the ideal-integrator system
-  // (as a designer would calibrate the ranging DSP on the Phase-II model).
+  /// Acquisition thresholds.
+  int noise_est_windows = 32;       ///< NE windows before preamble sense
+  double sense_factor = 4.0;        ///< PS threshold = factor * noise stddev
+  int agc_settle_symbols = 10;      ///< symbols granted to the AGC loop
+  int sync_symbols = 6;             ///< symbols scored per coarse hypothesis
+  double fine_step = 2e-9;          ///< fine ToA sweep step [s]
+  double fine_window = 8e-9;        ///< short integration for the edge search
+  /// Constant subtracted from the raw leading-edge crossing: the burst edge
+  /// must deliver `threshold` worth of energy before the crossing fires, a
+  /// fixed group delay calibrated out against the ideal-integrator system
+  /// (as a designer would calibrate the ranging DSP on the Phase-II model).
   double toa_edge_correction = 3e-9;
-  // Leading-edge threshold as a fraction of the level the AGC *believes*
-  // it established (target code x LSB, scaled to the fine window). It is
-  // an absolute reference, not peak-normalized: when the real integrator's
-  // limited input range yields "a lower output voltage" (paper §5), the
-  // crossing happens later and the ranging bias grows — the paper's
-  // Table 2 mechanism.
+  /// Leading-edge threshold as a fraction of the level the AGC *believes*
+  /// it established (target code x LSB, scaled to the fine window). It is
+  /// an absolute reference, not peak-normalized: when the real integrator's
+  /// limited input range yields "a lower output voltage" (paper §5), the
+  /// crossing happens later and the ranging bias grows — the paper's
+  /// Table 2 mechanism.
   double leading_edge_fraction = 0.25;
 
-  // Paper §5 proposed architecture fix: split the AGC into an input
-  // amplitude-matching stage and a digital post-scale that matches the
-  // integrated energy to the ADC. Exercised by bench/ablation_two_stage_agc.
+  /// Paper §5 proposed architecture fix: split the AGC into an input
+  /// amplitude-matching stage and a digital post-scale that matches the
+  /// integrated energy to the ADC. Exercised by bench/ablation_two_stage_agc.
   bool two_stage_agc = false;
 
-  // Channel.
-  double distance = 9.9;          // [m] (Table 2 point)
-  double path_loss_exponent = 1.79;   // 4a CM1 LOS
-  double path_loss_db_1m = 43.9;      // PL0 at d0 = 1 m
-  bool multipath = true;          // CM1 Saleh-Valenzuela vs pure AWGN
-  double noise_psd = 0.0;         // N0 [V^2/Hz] at the receiver input
+  /// Channel.
+  double distance = 9.9;          ///< [m] (Table 2 point)
+  double path_loss_exponent = 1.79;   ///< 4a CM1 LOS
+  double path_loss_db_1m = 43.9;      ///< PL0 at d0 = 1 m
+  bool multipath = true;          ///< CM1 Saleh-Valenzuela vs pure AWGN
+  double noise_psd = 0.0;         ///< N0 [V^2/Hz] at the receiver input
 
   std::uint64_t seed = 1;
 
-  // Derived helpers.
+  /// Derived helpers.
   double slot_period() const { return symbol_period / 2.0; }
   double sample_rate() const { return 1.0 / dt; }
   int samples_per_symbol() const {

@@ -1,9 +1,10 @@
-// demodulator.hpp — 2-PPM slot-energy decision and error accounting.
-//
-// Demodulation "consists in evaluating the energy in the first and in the
-// second half of Ts and deciding which one is larger" (paper §2). The
-// comparison happens on ADC codes, as in the paper's digital back end; ties
-// are broken pseudo-randomly to avoid a systematic bias at low SNR.
+/// @file demodulator.hpp
+/// @brief 2-PPM slot-energy decision and error accounting.
+///
+/// Demodulation "consists in evaluating the energy in the first and in the
+/// second half of Ts and deciding which one is larger" (paper §2). The
+/// comparison happens on ADC codes, as in the paper's digital back end; ties
+/// are broken pseudo-randomly to avoid a systematic bias at low SNR.
 #pragma once
 
 #include <cstdint>
@@ -15,17 +16,17 @@ namespace uwbams::uwb {
 
 class PpmDemodulator {
  public:
-  // Returns the decided bit for one symbol given the two slot codes.
+  /// Returns the decided bit for one symbol given the two slot codes.
   bool decide(int slot0_code, int slot1_code);
 
-  // Convenience for counting: feed the decision against the sent bit.
+  /// Convenience for counting: feed the decision against the sent bit.
   void record(bool sent, bool decided) { ber_.add(sent != decided); }
   const base::BerCounter& ber() const { return ber_; }
   void reset_counts() { ber_ = base::BerCounter{}; }
 
  private:
   base::BerCounter ber_;
-  std::uint64_t tie_state_ = 0x9E3779B97F4A7C15ull;  // tie-break LFSR state
+  std::uint64_t tie_state_ = 0x9E3779B97F4A7C15ull;  ///< tie-break LFSR state
 };
 
 }  // namespace uwbams::uwb

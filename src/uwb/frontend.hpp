@@ -1,15 +1,16 @@
-// frontend.hpp — analog front-end blocks: LNA/VGA amplifier and squarer.
-//
-// Phase-II behavioral models: linear gain with hard saturation (the paper
-// keeps "saturation in the various stages" among the modeled
-// non-idealities) and an optional single-pole bandwidth limit. The VGA is
-// an Amplifier whose gain code is written by the AGC through a quantizing
-// DAC (uwb/dac in adc.hpp).
-//
-// Both blocks are batch-capable: out() returns the base of a kMaxBatch
-// sample buffer, and step_block() runs the identical per-sample arithmetic
-// in one tight loop (the gain/clamp path with no bandwidth limit
-// auto-vectorizes; the one-pole recurrence stays serial but branch-free).
+/// @file frontend.hpp
+/// @brief Analog front-end blocks: LNA/VGA amplifier and squarer.
+///
+/// Phase-II behavioral models: linear gain with hard saturation (the paper
+/// keeps "saturation in the various stages" among the modeled
+/// non-idealities) and an optional single-pole bandwidth limit. The VGA is
+/// an Amplifier whose gain code is written by the AGC through a quantizing
+/// DAC (uwb/dac in adc.hpp).
+///
+/// Both blocks are batch-capable: out() returns the base of a kMaxBatch
+/// sample buffer, and step_block() runs the identical per-sample arithmetic
+/// in one tight loop (the gain/clamp path with no bandwidth limit
+/// auto-vectorizes; the one-pole recurrence stays serial but branch-free).
 #pragma once
 
 #include "ams/kernel.hpp"
@@ -19,8 +20,8 @@ namespace uwbams::uwb {
 
 class Amplifier : public ams::AnalogBlock {
  public:
-  // gain_db: initial gain; sat: output clamp (|v| <= sat); bw: -3 dB
-  // single-pole bandwidth in Hz (0 = unlimited).
+  /// gain_db: initial gain; sat: output clamp (|v| <= sat); bw: -3 dB
+  /// single-pole bandwidth in Hz (0 = unlimited).
   Amplifier(const double* input, double gain_db, double sat, double bw = 0.0);
 
   void set_gain_db(double gain_db);
@@ -41,9 +42,9 @@ class Amplifier : public ams::AnalogBlock {
   double out_[ams::kMaxBatch] = {};
 };
 
-// Square-law device: out = k * v^2 (the "( )^2" block of Fig. 1). The
-// output is intrinsically non-negative; it feeds the I&D differential
-// input.
+/// Square-law device: out = k * v^2 (the "( )^2" block of Fig. 1). The
+/// output is intrinsically non-negative; it feeds the I&D differential
+/// input.
 class Squarer : public ams::AnalogBlock {
  public:
   Squarer(const double* input, double k);

@@ -1,19 +1,20 @@
-// integrator.hpp — the Integrate & Dump block in its three fidelities.
-//
-// This is the block the paper walks through the methodology:
-//
-//   * IdealIntegrator   (Phase II):  if sel='1' use vo'Dot == vin*K
-//   * SpiceIntegrator   (Phase III): the imported 31-transistor netlist,
-//                                    co-simulated through ams::SpiceBridge
-//   * TwoPoleIntegrator (Phase IV):  the two coupled ODEs with the DC gain
-//                                    and the two poles characterized from
-//                                    the netlist (plus an optional input
-//                                    linear-range clamp — the non-ideality
-//                                    the paper's model deliberately lacks,
-//                                    causing the Fig. 5 mismatch)
-//
-// All three satisfy IntegrateAndDump, so the system testbench swaps them
-// without any other change (substitute-and-play).
+/// @file integrator.hpp
+/// @brief The Integrate & Dump block in its three fidelities.
+///
+/// This is the block the paper walks through the methodology:
+///
+///   * IdealIntegrator   (Phase II):  if sel='1' use vo'Dot == vin*K
+///   * SpiceIntegrator   (Phase III): the imported 31-transistor netlist,
+///                                    co-simulated through ams::SpiceBridge
+///   * TwoPoleIntegrator (Phase IV):  the two coupled ODEs with the DC gain
+///                                    and the two poles characterized from
+///                                    the netlist (plus an optional input
+///                                    linear-range clamp — the non-ideality
+///                                    the paper's model deliberately lacks,
+///                                    causing the Fig. 5 mismatch)
+///
+/// All three satisfy IntegrateAndDump, so the system testbench swaps them
+/// without any other change (substitute-and-play).
 #pragma once
 
 #include <memory>
@@ -29,27 +30,27 @@ namespace uwbams::uwb {
 
 class IntegrateAndDump : public ams::AnalogBlock {
  public:
-  // Control phases map to the cell's (Controlp, Controlm) rails:
-  //   kDump      = (1,1): switches closed, reset on — clears the capacitor
-  //                "prior to restart integration" (paper §4)
-  //   kIntegrate = (1,0): switches closed, accumulating
-  //   kHold      = (0,0): capacitor floating for the ADC conversion
+  /// Control phases map to the cell's (Controlp, Controlm) rails:
+  ///   kDump      = (1,1): switches closed, reset on — clears the capacitor
+  ///                "prior to restart integration" (paper §4)
+  ///   kIntegrate = (1,0): switches closed, accumulating
+  ///   kHold      = (0,0): capacitor floating for the ADC conversion
   enum class Mode { kDump, kIntegrate, kHold };
 
   ~IntegrateAndDump() override = default;
   virtual void set_mode(Mode mode) = 0;
   virtual Mode mode() const = 0;
-  // Integrated differential output voltage (what the ADC samples).
+  /// Integrated differential output voltage (what the ADC samples).
   virtual double output() const = 0;
   virtual std::string kind() const = 0;
 };
 
-// Phase II: vo' = K * vin while integrating.
-//
-// All three integrators are batch-capable: mode changes arrive from the
-// window controller's digital events, which the kernel only fires at batch
-// boundaries, so one switch over the mode covers a whole batch and the
-// integrate-phase recurrence runs as a tight loop over the input buffer.
+/// Phase II: vo' = K * vin while integrating.
+///
+/// All three integrators are batch-capable: mode changes arrive from the
+/// window controller's digital events, which the kernel only fires at batch
+/// boundaries, so one switch over the mode covers a whole batch and the
+/// integrate-phase recurrence runs as a tight loop over the input buffer.
 class IdealIntegrator final : public IntegrateAndDump {
  public:
   IdealIntegrator(const double* input, double k);
@@ -67,12 +68,12 @@ class IdealIntegrator final : public IntegrateAndDump {
   Mode mode_ = Mode::kDump;
 };
 
-// Phase IV: two coupled ODEs (gain + two poles), optional input clamp.
+/// Phase IV: two coupled ODEs (gain + two poles), optional input clamp.
 struct TwoPoleParams {
   double dc_gain_db = 21.0;
-  double f_pole1 = 0.886e6;   // [Hz]
-  double f_pole2 = 5.895e9;   // [Hz]
-  double input_clamp = 0.0;   // [V]; 0 disables (the paper's linear model)
+  double f_pole1 = 0.886e6;   ///< [Hz]
+  double f_pole2 = 5.895e9;   ///< [Hz]
+  double input_clamp = 0.0;   ///< [V]; 0 disables (the paper's linear model)
 };
 
 class TwoPoleIntegrator final : public IntegrateAndDump {
@@ -94,12 +95,12 @@ class TwoPoleIntegrator final : public IntegrateAndDump {
   Mode mode_ = Mode::kDump;
 };
 
-// Phase III: the transistor-level cell through the co-simulation bridge.
+/// Phase III: the transistor-level cell through the co-simulation bridge.
 class SpiceIntegrator final : public IntegrateAndDump {
  public:
-  // `input` is the differential squarer output; it is applied around the
-  // cell's 0.9 V input common mode. The embedded solver runs at the
-  // kernel's step (options.dt is only the default).
+  /// `input` is the differential squarer output; it is applied around the
+  /// cell's 0.9 V input common mode. The embedded solver runs at the
+  /// kernel's step (options.dt is only the default).
   SpiceIntegrator(const double* input, const spice::ItdSizing& sizing = {},
                   spice::TransientOptions options = {});
   void set_mode(Mode mode) override;
@@ -107,10 +108,10 @@ class SpiceIntegrator final : public IntegrateAndDump {
   double output() const override { return *out_; }
   std::string kind() const override { return "ELDO"; }
   void step(double t, double dt) override;
-  // Batching stops at the co-simulation boundary: each batch sample is one
-  // macro step of the embedded solver, driven with that sample's input —
-  // the identical per-sample sequence, minus the per-sample virtual
-  // dispatch through the kernel.
+  /// Batching stops at the co-simulation boundary: each batch sample is one
+  /// macro step of the embedded solver, driven with that sample's input —
+  /// the identical per-sample sequence, minus the per-sample virtual
+  /// dispatch through the kernel.
   bool supports_batch() const override { return true; }
   void step_block(const double* t, double dt, int n) override;
 
@@ -122,7 +123,7 @@ class SpiceIntegrator final : public IntegrateAndDump {
   double vdd_;
   std::unique_ptr<ams::SpiceBridge> bridge_;
   const double* out_;
-  // Signals driven into the embedded circuit.
+  /// Signals driven into the embedded circuit.
   double vinp_ = 0.9, vinm_ = 0.9, ctrlp_ = 1.8, ctrlm_ = 1.8;
   Mode mode_ = Mode::kDump;
 };

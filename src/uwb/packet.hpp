@@ -1,9 +1,10 @@
-// packet.hpp — 2-PPM packet framing.
-//
-// The paper's packet is a non-modulated preamble (every pulse in slot 0,
-// used for noise estimation, preamble sense, AGC and synchronization)
-// followed by the 2-PPM-modulated payload. A '0' places the pulse in
-// [0, Ts/2), a '1' in [Ts/2, Ts).
+/// @file packet.hpp
+/// @brief 2-PPM packet framing.
+///
+/// The paper's packet is a non-modulated preamble (every pulse in slot 0,
+/// used for noise estimation, preamble sense, AGC and synchronization)
+/// followed by the 2-PPM-modulated payload. A '0' places the pulse in
+/// [0, Ts/2), a '1' in [Ts/2, Ts).
 #pragma once
 
 #include <cstddef>
@@ -13,17 +14,17 @@ namespace uwbams::uwb {
 
 struct Packet {
   int preamble_symbols = 32;
-  // Start-of-frame delimiter: slot-1 symbols between preamble and payload.
-  // The receiver's data FSM starts collecting payload at the first decided
-  // '1' after synchronization.
+  /// Start-of-frame delimiter: slot-1 symbols between preamble and payload.
+  /// The receiver's data FSM starts collecting payload at the first decided
+  /// '1' after synchronization.
   int sfd_symbols = 0;
   std::vector<bool> payload;
 
   int total_symbols() const {
     return preamble_symbols + sfd_symbols + static_cast<int>(payload.size());
   }
-  // Slot index (0/1) of symbol k: preamble pulses sit in slot 0, SFD in
-  // slot 1, payload per bit.
+  /// Slot index (0/1) of symbol k: preamble pulses sit in slot 0, SFD in
+  /// slot 1, payload per bit.
   int slot_of_symbol(int k) const;
   double duration(double symbol_period) const {
     return total_symbols() * symbol_period;

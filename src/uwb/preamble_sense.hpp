@@ -1,11 +1,12 @@
-// preamble_sense.hpp — the NE/PS block: noise estimation + preamble sense.
-//
-// Before synchronization the receiver samples the channel energy "from time
-// to time in order to evaluate whether a preamble is being transmitted"
-// (paper §2). NoiseEstimator accumulates energy codes of noise-only
-// windows; PreambleSense then flags windows whose energy exceeds the
-// estimated floor by a configurable factor, with a small hit-count
-// hysteresis against isolated noise spikes.
+/// @file preamble_sense.hpp
+/// @brief The NE/PS block: noise estimation + preamble sense.
+///
+/// Before synchronization the receiver samples the channel energy "from time
+/// to time in order to evaluate whether a preamble is being transmitted"
+/// (paper §2). NoiseEstimator accumulates energy codes of noise-only
+/// windows; PreambleSense then flags windows whose energy exceeds the
+/// estimated floor by a configurable factor, with a small hit-count
+/// hysteresis against isolated noise spikes.
 #pragma once
 
 #include <cstddef>
@@ -33,13 +34,13 @@ class NoiseEstimator {
 
 class PreambleSense {
  public:
-  // Threshold: mean + max(factor * stddev, 2 LSB codes). The preamble is
-  // declared once `hits_needed` of the last 2*hits_needed windows exceed
-  // the threshold: preamble pulses sit in slot 0 only, so hits arrive in
-  // *alternating* windows and a consecutive-hit rule would never fire.
+  /// Threshold: mean + max(factor * stddev, 2 LSB codes). The preamble is
+  /// declared once `hits_needed` of the last 2*hits_needed windows exceed
+  /// the threshold: preamble pulses sit in slot 0 only, so hits arrive in
+  /// *alternating* windows and a consecutive-hit rule would never fire.
   PreambleSense(const NoiseEstimator& noise, double factor, int hits_needed);
 
-  // Returns true once a preamble has been declared.
+  /// Returns true once a preamble has been declared.
   bool add(int code);
   bool detected() const { return detected_; }
   double threshold() const { return threshold_; }
@@ -47,7 +48,7 @@ class PreambleSense {
  private:
   double threshold_;
   int hits_needed_;
-  unsigned history_ = 0;  // bit i = window i windows ago was a hit
+  unsigned history_ = 0;  ///< bit i = window i windows ago was a hit
   bool detected_ = false;
 };
 

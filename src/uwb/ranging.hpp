@@ -1,11 +1,12 @@
-// ranging.hpp — the Two-Way Ranging experiment engine (Table 2).
-//
-// "A request packet is sent by a first transceiver and is replied by a
-// second after a known processing time (PT). The replied packet is received
-// again by the first transceiver which estimates the RTT by subtracting the
-// PT" (paper §5). Both nodes run the full acquisition FSM; the ToA biases
-// of both sides therefore enter the distance estimate exactly as they do in
-// the paper's mixed-level simulations.
+/// @file ranging.hpp
+/// @brief The Two-Way Ranging experiment engine (Table 2).
+///
+/// "A request packet is sent by a first transceiver and is replied by a
+/// second after a known processing time (PT). The replied packet is received
+/// again by the first transceiver which estimates the RTT by subtracting the
+/// PT" (paper §5). Both nodes run the full acquisition FSM; the ToA biases
+/// of both sides therefore enter the distance estimate exactly as they do in
+/// the paper's mixed-level simulations.
 #pragma once
 
 #include <cstdint>
@@ -19,14 +20,14 @@
 namespace uwbams::uwb {
 
 struct TwrConfig {
-  SystemConfig sys;               // shared system parameters
-  double processing_time = 12e-6; // PT: reply pulse leaves PT after the
-                                  // estimated request ToA [s]
-  int iterations = 10;            // paper: 10 TWR iterations
-  double noise_psd = 2e-19;       // receiver-input N0 [V^2/Hz]
-  // Paper setup: "10 TWR iterations at a single distance point" — one CM1
-  // realization, noise re-drawn per iteration, so the spread isolates the
-  // estimator jitter. Set true to also re-draw the channel.
+  SystemConfig sys;               ///< shared system parameters
+  double processing_time = 12e-6; ///< PT: reply pulse leaves PT after the
+                                  ///< estimated request ToA [s]
+  int iterations = 10;            ///< paper: 10 TWR iterations
+  double noise_psd = 2e-19;       ///< receiver-input N0 [V^2/Hz]
+  /// Paper setup: "10 TWR iterations at a single distance point" — one CM1
+  /// realization, noise re-drawn per iteration, so the spread isolates the
+  /// estimator jitter. Set true to also re-draw the channel.
   bool fresh_channel_per_iteration = false;
 
   TwrConfig() {
@@ -45,8 +46,8 @@ struct TwrConfig {
     noise_psd = 8e-19;
   }
 
-  // Per-iteration seeds. run() and any parallel fan-out derive them from
-  // here so a sharded run reproduces the serial one bit for bit.
+  /// Per-iteration seeds. run() and any parallel fan-out derive them from
+  /// here so a sharded run reproduces the serial one bit for bit.
   std::uint64_t channel_seed(int iteration) const {
     return fresh_channel_per_iteration
                ? sys.seed + static_cast<std::uint64_t>(iteration) * 1000003ull
@@ -58,8 +59,8 @@ struct TwrConfig {
 };
 
 struct TwrIteration {
-  double distance_estimate = -1.0;  // [m]; negative = acquisition failure
-  double toa_bias_a = 0.0;          // diagnostic: per-side sync bias [s]
+  double distance_estimate = -1.0;  ///< [m]; negative = acquisition failure
+  double toa_bias_a = 0.0;          ///< diagnostic: per-side sync bias [s]
   double toa_bias_b = 0.0;
   bool ok = false;
 };
@@ -68,21 +69,21 @@ struct TwrResult {
   std::vector<TwrIteration> iterations;
   int failures = 0;
   double mean() const;
-  double variance() const;  // the paper's Table 2 reports mean + "variance"
-                            // in meters, i.e. the standard deviation; both
-                            // accessors are provided
+  /// The paper's Table 2 reports mean + "variance" in meters, i.e. the
+  /// standard deviation; both accessors are provided.
+  double variance() const;
   double stddev() const;
 };
 
 class TwoWayRanging {
  public:
-  // Both nodes use integrators built by `make_integrator` (the paper swaps
-  // the same block fidelity in both devices).
+  /// Both nodes use integrators built by `make_integrator` (the paper swaps
+  /// the same block fidelity in both devices).
   TwoWayRanging(const TwrConfig& cfg, IntegratorFactory make_integrator);
 
   TwrResult run();
-  // Single exchange with explicit seeds (used by tests): the channel seed
-  // draws the CM1 realizations, the noise seed the AWGN and payload.
+  /// Single exchange with explicit seeds (used by tests): the channel seed
+  /// draws the CM1 realizations, the noise seed the AWGN and payload.
   TwrIteration run_iteration(std::uint64_t channel_seed,
                              std::uint64_t noise_seed);
 

@@ -1,16 +1,17 @@
-// receiver.hpp — the assembled energy-detection receiver.
-//
-// Analog chain (registered into the AMS kernel in dataflow order):
-//   rf input -> LNA -> VGA -> ( )^2 -> I&D (ideal / spice / behavioral)
-// Digital back end (event-driven):
-//   ItdController windows + ADC -> RxFsm:
-//     genie mode   — known timing, payload demodulation only (BER runs);
-//     acquire mode — NE -> PS -> AGC -> coarse slot sync -> fine
-//                    leading-edge ToA (ranging runs).
-//
-// The integrator is injected through a factory, which is the
-// substitute-and-play seam: the same receiver is built with any of the
-// paper's three I&D fidelities.
+/// @file receiver.hpp
+/// @brief The assembled energy-detection receiver.
+///
+/// Analog chain (registered into the AMS kernel in dataflow order):
+///   rf input -> LNA -> VGA -> ( )^2 -> I&D (ideal / spice / behavioral)
+/// Digital back end (event-driven):
+///   ItdController windows + ADC -> RxFsm:
+///     genie mode   — known timing, payload demodulation only (BER runs);
+///     acquire mode — NE -> PS -> AGC -> coarse slot sync -> fine
+///                    leading-edge ToA (ranging runs).
+///
+/// The integrator is injected through a factory, which is the
+/// substitute-and-play seam: the same receiver is built with any of the
+/// paper's three I&D fidelities.
 #pragma once
 
 #include <functional>
@@ -31,8 +32,8 @@
 
 namespace uwbams::uwb {
 
-// Tracks the peak |value| of an analog signal between resets; feeds the
-// AGC's saturation checks and the design-constraint extraction.
+/// Tracks the peak |value| of an analog signal between resets; feeds the
+/// AGC's saturation checks and the design-constraint extraction.
 class PeakTracker : public ams::AnalogBlock {
  public:
   explicit PeakTracker(const double* input) : in_(input) {}
@@ -53,33 +54,33 @@ using IntegratorFactory =
 class Receiver {
  public:
   enum class SyncMode { kGenie, kAcquire };
-  // kAgcRefine re-runs the gain loop on the *aligned* window grid after the
-  // coarse search: the first AGC pass sees partially-captured bursts and
-  // settles high, which would saturate the fine-scan profile.
+  /// kAgcRefine re-runs the gain loop on the *aligned* window grid after the
+  /// coarse search: the first AGC pass sees partially-captured bursts and
+  /// settles high, which would saturate the fine-scan profile.
   enum class RxState {
     kIdle, kNoiseEst, kSense, kAgc, kCoarse, kAgcRefine, kFine, kData, kDone
   };
 
-  // Registers the analog chain into `kernel`. `rf_input` is the channel
-  // output; register transmitter and channel blocks before constructing.
+  /// Registers the analog chain into `kernel`. `rf_input` is the channel
+  /// output; register transmitter and channel blocks before constructing.
   Receiver(ams::Kernel& kernel, const SystemConfig& cfg,
            const double* rf_input, const IntegratorFactory& make_integrator);
 
-  // --- genie mode (BER runs): known timing, payload-only packets.
-  // `capture_start` is the absolute time energy capture (the integrate
-  // phase) of the first slot-0 window should begin — normally packet start
-  // + propagation delay. The controller opens the window one reset width
-  // earlier so the dump completes right at capture_start.
+  /// --- genie mode (BER runs): known timing, payload-only packets.
+  /// `capture_start` is the absolute time energy capture (the integrate
+  /// phase) of the first slot-0 window should begin — normally packet start
+  /// + propagation delay. The controller opens the window one reset width
+  /// earlier so the dump completes right at capture_start.
   void start_genie(ams::Kernel& kernel, double capture_start,
                    const std::vector<bool>& sent_payload);
 
-  // --- acquire mode (ranging runs): full NE/PS/AGC/sync sequence.
+  /// --- acquire mode (ranging runs): full NE/PS/AGC/sync sequence.
   void start_acquire(ams::Kernel& kernel, double t_start);
-  // Callback fired once the fine ToA estimate is available.
+  /// Callback fired once the fine ToA estimate is available.
   void on_sync(std::function<void(double toa)> cb) { sync_cb_ = std::move(cb); }
-  // Payload collection after acquisition: once synchronized, the data FSM
-  // waits for the SFD (first decided '1') and then collects `n_bits`
-  // decisions. Call before or after sync completes.
+  /// Payload collection after acquisition: once synchronized, the data FSM
+  /// waits for the SFD (first decided '1') and then collects `n_bits`
+  /// decisions. Call before or after sync completes.
   void collect_payload(int n_bits) { payload_expected_ = n_bits; }
   const std::vector<bool>& received_payload() const { return rx_payload_; }
   bool payload_complete() const {
@@ -87,7 +88,7 @@ class Receiver {
            static_cast<int>(rx_payload_.size()) >= payload_expected_;
   }
 
-  // Controls / results.
+  /// Controls / results.
   void set_vga_gain_db(double g) { vga_->set_gain_db(g); }
   double vga_gain_db() const { return vga_->gain_db(); }
   const base::BerCounter& ber() const { return demod_.ber(); }
@@ -97,7 +98,7 @@ class Receiver {
   const AgcController& agc() const { return *agc_; }
   IntegrateAndDump& integrator() { return *itd_; }
   PeakTracker& squared_peak() { return *sq_peak_; }
-  // All window samples seen (diagnostics; cleared on start_*).
+  /// All window samples seen (diagnostics; cleared on start_*).
   const std::vector<WindowSample>& samples() const { return samples_; }
   void keep_samples(bool on) { keep_samples_ = on; }
 
@@ -105,8 +106,8 @@ class Receiver {
   void handle_sample(const WindowSample& s);
   void handle_genie(const WindowSample& s);
   void handle_acquire(const WindowSample& s);
-  // Slot-aligned anchor of the winning coarse (candidate, parity) pair,
-  // advanced by whole symbols past `current_window_start`.
+  /// Slot-aligned anchor of the winning coarse (candidate, parity) pair,
+  /// advanced by whole symbols past `current_window_start`.
   double winning_anchor(double current_window_start) const;
   void begin_fine_scan(double current_window_start);
   void finish_fine_scan();
@@ -114,14 +115,14 @@ class Receiver {
   SystemConfig cfg_;
   ams::Kernel* kernel_;
 
-  // Analog chain.
+  /// Analog chain.
   std::unique_ptr<Amplifier> lna_;
   std::unique_ptr<Amplifier> vga_;
   std::unique_ptr<Squarer> squarer_;
   std::unique_ptr<PeakTracker> sq_peak_;
   std::unique_ptr<IntegrateAndDump> itd_;
 
-  // Digital back end.
+  /// Digital back end.
   Adc adc_;
   std::unique_ptr<ItdController> controller_;
   std::unique_ptr<AgcController> agc_;
@@ -130,29 +131,29 @@ class Receiver {
   SyncMode mode_ = SyncMode::kGenie;
   RxState state_ = RxState::kIdle;
 
-  // Genie bookkeeping.
+  /// Genie bookkeeping.
   std::vector<bool> sent_payload_;
   std::optional<int> pending_slot0_;
   std::size_t genie_symbol_ = 0;
 
-  // Acquire bookkeeping.
+  /// Acquire bookkeeping.
   std::unique_ptr<NoiseEstimator> noise_;
   std::unique_ptr<PreambleSense> sense_;
   int agc_symbols_done_ = 0;
   int agc_refine_symbols_done_ = 0;
   int agc_peak_code_ = 0;
   int window_in_symbol_ = 0;
-  // Coarse scan: per-candidate grids shifted by Tint/2 over one slot, with
-  // per-parity scores (preamble pulses repeat every Ts = 2 slots, so the
-  // winning parity resolves the slot ambiguity).
+  /// Coarse scan: per-candidate grids shifted by Tint/2 over one slot, with
+  /// per-parity scores (preamble pulses repeat every Ts = 2 slots, so the
+  /// winning parity resolves the slot ambiguity).
   int coarse_candidate_ = 0;
   int coarse_windows_left_ = 0;
   int coarse_window_idx_ = 0;
   double coarse_shift_ = 0.0;
   int n_candidates_ = 0;
   std::vector<double> coarse_cand_starts_;
-  std::vector<double> coarse_score_;  // [candidate * 2 + parity]
-  // Fine scan (short-window leading-edge search).
+  std::vector<double> coarse_score_;  ///< [candidate * 2 + parity]
+  /// Fine scan (short-window leading-edge search).
   std::vector<double> fine_offsets_;
   std::vector<double> fine_energy_;
   std::size_t fine_idx_ = 0;
@@ -163,7 +164,7 @@ class Receiver {
   std::vector<WindowSample> samples_;
   bool keep_samples_ = false;
 
-  // Acquire-mode data phase.
+  /// Acquire-mode data phase.
   int payload_expected_ = 0;
   bool sfd_seen_ = false;
   std::optional<int> data_slot0_;

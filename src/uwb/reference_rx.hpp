@@ -1,13 +1,14 @@
-// reference_rx.hpp — Phase-I reference detector (the "Matlab check").
-//
-// The paper's Phase I validates the behavioral VHDL-AMS receiver against an
-// independent high-level description ("the coherence with another high
-// level description language (Matlab) was checked", with BER curves that
-// "perfectly overlapped"). This module plays the Matlab role: a plain
-// vectorized implementation of the same 2-PPM energy detector — square the
-// sampled waveform, sum over each slot window, compare — with no AMS
-// kernel, no block partition, no front-end models. Tests cross-validate
-// the full AMS chain against it.
+/// @file reference_rx.hpp
+/// @brief Phase-I reference detector (the "Matlab check").
+///
+/// The paper's Phase I validates the behavioral VHDL-AMS receiver against an
+/// independent high-level description ("the coherence with another high
+/// level description language (Matlab) was checked", with BER curves that
+/// "perfectly overlapped"). This module plays the Matlab role: a plain
+/// vectorized implementation of the same 2-PPM energy detector — square the
+/// sampled waveform, sum over each slot window, compare — with no AMS
+/// kernel, no block partition, no front-end models. Tests cross-validate
+/// the full AMS chain against it.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +27,11 @@ struct ReferenceBerResult {
   }
 };
 
-// Simulates `n_bits` 2-PPM symbols at the given Eb/N0 through the reference
-// detector: ideal integration over `cfg.integration_window` per slot,
-// noiseless timing, no quantization, no front-end. One front-end pole can
-// be emulated with `bandlimit` (0 disables) so the noise statistics match
-// the AMS chain's VGA bandwidth.
+/// Simulates `n_bits` 2-PPM symbols at the given Eb/N0 through the reference
+/// detector: ideal integration over `cfg.integration_window` per slot,
+/// noiseless timing, no quantization, no front-end. One front-end pole can
+/// be emulated with `bandlimit` (0 disables) so the noise statistics match
+/// the AMS chain's VGA bandwidth.
 ReferenceBerResult reference_ber(const SystemConfig& cfg, double ebn0_db,
                                  std::uint64_t n_bits, std::uint64_t seed,
                                  double bandlimit = 0.0);

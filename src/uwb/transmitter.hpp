@@ -1,15 +1,16 @@
-// transmitter.hpp — pulse generator + 2-PPM modulator.
-//
-// Produces the antenna voltage sample by sample: one monocycle per symbol,
-// placed in the slot selected by the payload bit (preamble pulses always in
-// slot 0). The pulse is centered inside its slot at a fixed offset so the
-// whole waveform fits the receiver's integration window.
-//
-// Batch-capable: step_block() evaluates the identical per-sample waveform
-// expression for each batch sample. Both paths share sample_at(), which
-// restricts the burst scan to the pulses whose support can overlap the
-// sample (the exact |t_rel| test is still applied, so the summation — and
-// therefore the waveform — is bit-identical to the full per-pulse scan).
+/// @file transmitter.hpp
+/// @brief Pulse generator + 2-PPM modulator.
+///
+/// Produces the antenna voltage sample by sample: one monocycle per symbol,
+/// placed in the slot selected by the payload bit (preamble pulses always in
+/// slot 0). The pulse is centered inside its slot at a fixed offset so the
+/// whole waveform fits the receiver's integration window.
+///
+/// Batch-capable: step_block() evaluates the identical per-sample waveform
+/// expression for each batch sample. Both paths share sample_at(), which
+/// restricts the burst scan to the pulses whose support can overlap the
+/// sample (the exact |t_rel| test is still applied, so the summation — and
+/// therefore the waveform — is bit-identical to the full per-pulse scan).
 #pragma once
 
 #include <optional>
@@ -25,13 +26,13 @@ class Transmitter : public ams::AnalogBlock {
  public:
   explicit Transmitter(const SystemConfig& cfg);
 
-  // Queues a packet whose first symbol starts at absolute time t_start.
+  /// Queues a packet whose first symbol starts at absolute time t_start.
   void send(const Packet& packet, double t_start);
   bool busy(double t) const;
-  // Time of the first pulse center of the queued packet (for ranging
-  // bookkeeping). Only valid after send().
+  /// Time of the first pulse center of the queued packet (for ranging
+  /// bookkeeping). Only valid after send().
   double first_pulse_time() const;
-  // Offset of the pulse center within its slot.
+  /// Offset of the pulse center within its slot.
   double pulse_offset_in_slot() const { return pulse_offset_; }
 
   void step(double t, double dt) override;
@@ -40,12 +41,12 @@ class Transmitter : public ams::AnalogBlock {
   const double* out() const { return out_; }
 
  private:
-  // The antenna voltage at absolute time t (the body both step paths run).
+  /// The antenna voltage at absolute time t (the body both step paths run).
   double sample_at(double t) const;
 
   SystemConfig cfg_;
   GaussianMonocycle pulse_;
-  double pulse_offset_;  // pulse center relative to slot start
+  double pulse_offset_;  ///< pulse center relative to slot start
   std::optional<Packet> packet_;
   double t_start_ = 0.0;
   double out_[ams::kMaxBatch] = {};

@@ -79,6 +79,37 @@ TEST(Docs, CorePagesExist) {
       << "docs/methodology.md is missing";
   EXPECT_FALSE(read_file(std::string(UWBAMS_DOCS_DIR) + "/architecture.md").empty())
       << "docs/architecture.md is missing";
+  EXPECT_FALSE(
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/characterization.md").empty())
+      << "docs/characterization.md is missing";
+}
+
+// scenarios.md organizes its sections by group; a scenario registered
+// under a group the page has no section structure for would be filed
+// nowhere a reader looks. Keep the group vocabulary closed.
+TEST(Docs, ScenarioGroupsAreKnown) {
+  const std::set<std::string> known = {"bench", "mc", "ablation", "example"};
+  for (const auto* s : ScenarioRegistry::instance().list()) {
+    EXPECT_TRUE(known.count(s->info.group))
+        << "scenario '" << s->info.name << "' uses unknown group '"
+        << s->info.group
+        << "' — add the group to docs/scenarios.md and this test";
+  }
+}
+
+// Every scenario the catalog documents must also appear in the
+// characterization walk-through's command blocks or the paper map when it
+// reproduces a paper artifact; at minimum the three statistical scenarios
+// must be walked through (they are the page's subject).
+TEST(Docs, CharacterizationPageCoversStatisticalScenarios) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/characterization.md");
+  ASSERT_FALSE(text.empty());
+  for (const char* name : {"mc_itd", "corner_ber", "yield_report"}) {
+    EXPECT_NE(text.find(name), std::string::npos)
+        << "docs/characterization.md does not mention scenario '" << name
+        << "'";
+  }
 }
 
 }  // namespace
