@@ -97,10 +97,19 @@ double percentile_of(std::vector<double> xs, double p) {
 }
 
 QuantileSummary summarize_quantiles(std::vector<double> xs) {
-  if (xs.empty()) throw std::invalid_argument("summarize_quantiles: empty input");
   QuantileSummary q;
   q.count = xs.size();
+  // Degenerate inputs get well-defined summaries instead of throwing (or,
+  // before this guard existed, risking out-of-range interpolation indices):
+  // an empty sample is the all-zero summary (count = 0 tells the consumer
+  // apart from a genuine all-zero sample), and a single sample collapses
+  // every quantile onto the one value.
+  if (xs.empty()) return q;
   q.mean = mean_of(xs);
+  if (xs.size() == 1) {
+    q.min = q.max = q.p05 = q.p25 = q.p50 = q.p75 = q.p95 = xs.front();
+    return q;
+  }
   std::sort(xs.begin(), xs.end());
   q.min = xs.front();
   q.max = xs.back();

@@ -67,7 +67,9 @@ double percentile_of(std::vector<double> xs, double p);
 
 // Five-number-plus summary of a sample, built on percentile_of — the
 // per-parameter record Monte-Carlo yield reports quote (min / p5 / p25 /
-// median / p75 / p95 / max plus the mean).
+// median / p75 / p95 / max plus the mean). Degenerate inputs are
+// well-defined: an empty sample returns the all-zero summary with
+// count == 0, a single sample collapses every quantile onto that value.
 struct QuantileSummary {
   std::size_t count = 0;
   double mean = 0.0;

@@ -20,7 +20,7 @@ constexpr const char* kUsage =
     "  --list            list registered scenarios and exit\n"
     "  --all             run every registered scenario\n"
     "  --group=G         with --list/--all: restrict to a group\n"
-    "                    (bench | mc | ablation | example)\n"
+    "                    (bench | mc | ranging | ablation | example)\n"
     "  --scale=S         workload tier: fast | default | full\n"
     "  --jobs=N          worker threads for sweeps (0 = all cores)\n"
     "  --seed=N          base seed for the scenario's sweeps\n"
@@ -80,8 +80,9 @@ bool parse_cli(int argc, const char* const* argv, CliOptions* out) {
       if (m < 0) return false;
       try {
         out->jobs = std::stoi(value);
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "uwbams_run: bad --jobs '%s'\n", value.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "uwbams_run: bad --jobs '%s': %s\n",
+                     value.c_str(), e.what());
         return false;
       }
       if (out->jobs < 0) {
@@ -92,8 +93,9 @@ bool parse_cli(int argc, const char* const* argv, CliOptions* out) {
       if (m < 0) return false;
       try {
         out->seed = std::stoull(value);
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "uwbams_run: bad --seed '%s'\n", value.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "uwbams_run: bad --seed '%s': %s\n",
+                     value.c_str(), e.what());
         return false;
       }
     } else if ((m = match_value_flag(argv, argc, &i, "--out", &value)) != 0) {

@@ -1,0 +1,57 @@
+#include "uwb/clock.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/random.hpp"
+
+namespace uwbams::uwb {
+
+namespace {
+// Fixed purpose tag of the per-node clock sub-stream (see base::derive_seed:
+// nearby purposes land far apart, so clock draws can never collide with the
+// channel / noise / mismatch streams derived from the same experiment seed).
+constexpr std::uint64_t kClockPurpose = 0x636c6f636bULL;  // "clock"
+}  // namespace
+
+ClockModel::ClockModel(const ClockConfig& cfg, std::uint64_t base_seed)
+    : cfg_(cfg),
+      jitter_seed_(base::derive_seed(base::derive_seed(base_seed, kClockPurpose),
+                                     cfg.node_id)) {
+  update_cache();
+}
+
+void ClockModel::update_cache() {
+  rate_ = 1.0 + 1e-6 * cfg_.ppm;
+  drift_ = 1e-6 * cfg_.drift_ppm_per_s;
+  identity_ = cfg_.ppm == 0.0 && cfg_.drift_ppm_per_s == 0.0 &&
+              cfg_.offset == 0.0 && cfg_.jitter_rms == 0.0;
+}
+
+double ClockModel::true_time(double t_local) const {
+  if (identity_) return t_local;
+  // local_time is a gentle quadratic (|ppm|, |drift t| << 1e6), so Newton
+  // from the local reading converges in 2-3 iterations to double precision.
+  double t = (t_local - cfg_.offset) / rate_;
+  for (int i = 0; i < 8; ++i) {
+    const double f = local_time(t) - t_local;
+    const double fp = rate_ + drift_ * t;
+    const double step = f / fp;
+    t -= step;
+    if (std::abs(step) < 1e-18) break;
+  }
+  return t;
+}
+
+double ClockModel::jitter_at(double t_local) const {
+  if (cfg_.jitter_rms <= 0.0) return 0.0;
+  // Key the draw on the edge's local time bit pattern: deterministic and
+  // independent of scheduling order / worker count.
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof t_local);
+  std::memcpy(&bits, &t_local, sizeof bits);
+  base::Rng rng(base::derive_seed(jitter_seed_, bits));
+  return cfg_.jitter_rms * rng.gaussian();
+}
+
+}  // namespace uwbams::uwb

@@ -1,0 +1,100 @@
+/// @file clock.hpp
+/// @brief Local-oscillator nonideality model for ranging nodes.
+///
+/// Real pulsed-UWB transceivers derive every timing decision — the pulse
+/// repetition clock, the integration-window edges, the TWR processing-time
+/// countdown — from a crystal oscillator with a ppm-level frequency offset,
+/// a slow frequency drift and white phase jitter. The paper's §5 ranging
+/// analysis subtracts the processing time PT as if both nodes shared one
+/// perfect clock; ClockModel restores the nonideality so the classic
+/// PT-scaling TWR bias term (~ 0.5 c PT (delta_a - delta_b)) appears in the
+/// simulated estimates and can be studied / compensated.
+///
+/// Conventions:
+///   * The AMS kernel advances *true* (lab-frame) time t.
+///   * A node's digital machinery works in its *local* clock time
+///     tau = local_time(t) = offset + (1 + ppm 1e-6) t + 0.5 drift 1e-6 t^2.
+///   * Blocks convert at the kernel boundary only: scheduled edges go
+///     local -> true (true_time / event_true_time), observed kernel times go
+///     true -> local.
+///   * A default-constructed (all-zero) ClockConfig is the *bit-exact
+///     identity*: local_time/true_time return their argument unchanged and
+///     event jitter is zero, so every pre-existing testbench reproduces its
+///     historical waveforms and estimates exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace uwbams::uwb {
+
+/// Per-node oscillator parameters (all zero = ideal clock, the bit-exact
+/// identity on every timing path).
+struct ClockConfig {
+  double ppm = 0.0;             ///< fractional frequency offset [parts/1e6]
+  double drift_ppm_per_s = 0.0; ///< linear frequency drift [ppm/s]
+  double jitter_rms = 0.0;      ///< white phase jitter per timing edge [s]
+  double offset = 0.0;          ///< initial phase offset [s]
+  /// Node identity: selects the deterministic base::derive_seed sub-stream
+  /// the jitter draws come from, so two nodes with identical parameters
+  /// still jitter independently (and reproducibly, regardless of execution
+  /// order or worker count).
+  std::uint64_t node_id = 0;
+};
+
+class ClockModel {
+ public:
+  /// Identity clock (no arguments): every mapping is exact.
+  ClockModel() { update_cache(); }
+  /// `base_seed` is the experiment seed; the jitter stream is
+  /// derive_seed(derive_seed(base_seed, kClockPurpose), cfg.node_id).
+  ClockModel(const ClockConfig& cfg, std::uint64_t base_seed);
+
+  const ClockConfig& config() const { return cfg_; }
+
+  /// True when every mapping is the exact identity (zero ppm, drift,
+  /// offset and jitter) — the fast path existing testbenches stay on.
+  bool is_identity() const { return identity_; }
+
+  /// Local clock reading at true time t. Exact identity when
+  /// is_identity().
+  double local_time(double t_true) const {
+    if (identity_) return t_true;
+    return cfg_.offset + rate_ * t_true + 0.5 * drift_ * t_true * t_true;
+  }
+
+  /// Inverse mapping: the true time at which the local clock reads
+  /// t_local. Exact identity when is_identity(); otherwise solved by
+  /// Newton iteration on local_time (the mapping is monotonic for any
+  /// physical ppm/drift magnitude).
+  double true_time(double t_local) const;
+
+  /// Deterministic white phase jitter of the timing edge a node schedules
+  /// at local time t_local. The draw is keyed on (jitter stream, bit
+  /// pattern of t_local), so it does not depend on how many edges were
+  /// scheduled before or which worker evaluates it.
+  double jitter_at(double t_local) const;
+
+  /// true_time(t_local) + jitter_at(t_local): where in true time the edge
+  /// scheduled at local t_local actually lands.
+  double event_true_time(double t_local) const {
+    const double t = true_time(t_local);
+    return identity_ ? t : t + jitter_at(t_local);
+  }
+
+  /// Instantaneous fractional frequency error at true time t
+  /// (ppm 1e-6 + drift 1e-6 t) — the delta of the TWR bias algebra.
+  double frequency_error(double t_true) const {
+    return 1e-6 * (cfg_.ppm + cfg_.drift_ppm_per_s * t_true);
+  }
+
+ private:
+  void update_cache();
+
+  ClockConfig cfg_;
+  std::uint64_t jitter_seed_ = 0;
+  double rate_ = 1.0;   ///< 1 + ppm 1e-6
+  double drift_ = 0.0;  ///< drift_ppm_per_s 1e-6
+  bool identity_ = true;
+};
+
+}  // namespace uwbams::uwb

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "uwb/clock.hpp"
+
 namespace uwbams::uwb {
 
 struct SystemConfig {
@@ -105,6 +107,13 @@ struct SystemConfig {
   double noise_psd = 0.0;         ///< N0 [V^2/Hz] at the receiver input
 
   std::uint64_t seed = 1;
+
+  /// This node's local-oscillator nonideality (clock.hpp). The default
+  /// (all-zero) config is the bit-exact identity, so single-node benches
+  /// and the historical TWR path are unaffected unless a scenario opts in.
+  /// Transmitter and Receiver each build their ClockModel from this config
+  /// plus `seed`, so both halves of a node run on the same oscillator.
+  ClockConfig clock;
 
   /// Derived helpers.
   double slot_period() const { return symbol_period / 2.0; }

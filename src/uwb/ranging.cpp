@@ -1,5 +1,6 @@
 #include "uwb/ranging.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/random.hpp"
@@ -30,8 +31,24 @@ TwoWayRanging::TwoWayRanging(const TwrConfig& cfg,
 
 TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
                                           std::uint64_t noise_seed) {
+  // Each node runs on its own oscillator: same system parameters, its own
+  // ClockConfig (node ids 0/1 pick the per-node jitter sub-streams). The
+  // default identity clocks keep this the historical single-clock testbench
+  // bit for bit.
   SystemConfig sys = cfg_.sys;
   sys.seed = noise_seed;
+  SystemConfig sys_a = sys;
+  sys_a.clock = cfg_.clock_a;
+  SystemConfig sys_b = sys;
+  sys_b.clock = cfg_.clock_b;
+  // Distinct jitter sub-streams per side: callers that did not assign node
+  // ids (both left at the same value) get the standalone 0/1 convention;
+  // a network that did assign per-node ids keeps one oscillator identity
+  // per node across every pair it appears in.
+  if (cfg_.clock_a.node_id == cfg_.clock_b.node_id) {
+    sys_a.clock.node_id = 0;
+    sys_b.clock.node_id = 1;
+  }
   TwrIteration result;
 
   ams::Kernel kernel(sys.dt);
@@ -43,8 +60,8 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   // arrangement in which each channel read its input's previous sample.
   kernel.enable_batching();
 
-  Transceiver node_a(kernel, sys);  // registers the transmitters only
-  Transceiver node_b(kernel, sys);
+  Transceiver node_a(kernel, sys_a);  // registers the transmitters only
+  Transceiver node_b(kernel, sys_b);
   ChannelBlock chan_ab(sys, node_a.tx_out());
   ChannelBlock chan_ba(sys, node_b.tx_out());
   chan_ab.set_input_delay(1);
@@ -66,8 +83,11 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   }
   chan_ab.set_noise_psd(cfg_.noise_psd);
   chan_ba.set_noise_psd(cfg_.noise_psd);
-  chan_ab.reseed(noise_seed * 2 + 1);
-  chan_ba.reseed(noise_seed * 2 + 2);
+  // Fixed-purpose sub-streams of the iteration's noise seed (the old
+  // noise_seed * 2 + 1 / + 2 arithmetic could alias another iteration's
+  // streams).
+  chan_ab.reseed(base::derive_seed(noise_seed, 1));
+  chan_ba.reseed(base::derive_seed(noise_seed, 2));
 
   node_a.build_rx(kernel, chan_ba.out(), make_integrator_);
   node_b.build_rx(kernel, chan_ab.out(), make_integrator_);
@@ -99,11 +119,16 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   node_a.rx().on_sync([&](double toa) { toa_a = toa; });
 
   // A turns its receiver around once its own transmission is over
-  // (half-duplex antenna switch).
+  // (half-duplex antenna switch). The turnaround is an A-local decision:
+  // schedule it through A's clock and hand the receiver an A-local start.
   const double t_a_listen = t_request + packet_duration + 0.1e-6;
-  kernel.schedule_callback(t_a_listen, [&](double now) {
-    node_a.rx().start_acquire(kernel, now + 50e-9);
-  });
+  kernel.schedule_callback(
+      std::max(kernel.time(),
+               node_a.rx().clock().event_true_time(t_a_listen)),
+      [&](double now) {
+        node_a.rx().start_acquire(
+            kernel, node_a.rx().clock().local_time(now) + 50e-9);
+      });
 
   // Run long enough for the full exchange.
   const double t_end =
@@ -113,10 +138,21 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   if (toa_a < 0.0 || toa_b < 0.0) return result;  // acquisition failed
 
   // RTT from A's counter: fold by symbol periods (the counter supplies the
-  // whole-symbol count; fine ToA the remainder). Valid for RTT < Ts.
+  // whole-symbol count; fine ToA the remainder). Valid for RTT < Ts. With
+  // nonideal clocks the PT countdown ran on B's oscillator while A measured
+  // with its own, so the classic drift bias PT (delta_a - delta_b) remains
+  // in the folded interval.
   const double rtt =
       node_a.fold_by_symbols(toa_a - node_a.last_tx_pulse_time() - pt);
-  result.distance_estimate = 0.5 * units::speed_of_light * rtt;
+  result.distance_raw = 0.5 * units::speed_of_light * rtt;
+  // ppm compensation (see TwrConfig::compensate_ppm): remove the
+  // first-order PT-scaling term using the configured clock rates.
+  const double delta_ab =
+      1e-6 * (cfg_.clock_a.ppm - cfg_.clock_b.ppm);
+  const double rtt_comp = rtt - pt * delta_ab;
+  result.distance_estimate =
+      cfg_.compensate_ppm ? 0.5 * units::speed_of_light * rtt_comp
+                          : result.distance_raw;
 
   // Per-side bias diagnostics against the true arrival times.
   const double prop = sys.distance / units::speed_of_light;

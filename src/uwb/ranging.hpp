@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/random.hpp"
 #include "base/stats.hpp"
 #include "uwb/channel.hpp"
+#include "uwb/clock.hpp"
 #include "uwb/config.hpp"
 #include "uwb/receiver.hpp"
 
@@ -29,6 +31,21 @@ struct TwrConfig {
   /// realization, noise re-drawn per iteration, so the spread isolates the
   /// estimator jitter. Set true to also re-draw the channel.
   bool fresh_channel_per_iteration = false;
+
+  /// Per-node oscillator nonidealities (clock.hpp). Defaults are ideal
+  /// clocks — the bit-exact historical TWR path. When the two node_ids are
+  /// left equal (the default), they are forced to 0 (A, the initiator) and
+  /// 1 (B, the responder) so each side's jitter stream is a distinct
+  /// derive_seed sub-stream of the iteration seed; callers that assign
+  /// their own per-node ids (RangingNetwork) keep them.
+  ClockConfig clock_a;
+  ClockConfig clock_b;
+  /// Corrects the classic PT-scaling drift bias out of the reported
+  /// distance (rtt -= PT (delta_a - delta_b)), using the *configured* ppm
+  /// values — the role a carrier-frequency-offset tracker plays in a real
+  /// ranging DSP, which measures the remote clock rate against its own.
+  /// The raw estimate stays available in TwrIteration::distance_raw.
+  bool compensate_ppm = false;
 
   TwrConfig() {
     // Acquire-mode packets need a preamble long enough for the full
@@ -46,20 +63,51 @@ struct TwrConfig {
     noise_psd = 8e-19;
   }
 
+  /// Installs a caller-provided system template while preserving the
+  /// acquire-mode packet structure the constructor curates (preamble
+  /// length, payload size, NE windows) — the knobs the TWR sequencing
+  /// depends on. Use this instead of assigning `sys` wholesale.
+  void apply_system_template(const SystemConfig& s) {
+    const int preamble = sys.preamble_symbols;
+    const int payload = sys.payload_bits;
+    const int ne_windows = sys.noise_est_windows;
+    sys = s;
+    sys.preamble_symbols = preamble;
+    sys.payload_bits = payload;
+    sys.noise_est_windows = ne_windows;
+  }
+
+  /// Fixed purpose tags of the TWR sub-streams (base::derive_seed). Any
+  /// distinct constants work — derive_seed mixes them through splitmix64 —
+  /// but they must never change once results are published.
+  static constexpr std::uint64_t kChannelPurpose = 0x74777263ULL;  // "twrc"
+  static constexpr std::uint64_t kNoisePurpose = 0x7477726eULL;    // "twrn"
+
   /// Per-iteration seeds. run() and any parallel fan-out derive them from
-  /// here so a sharded run reproduces the serial one bit for bit.
+  /// here so a sharded run reproduces the serial one bit for bit. Channel
+  /// and noise draws come from fixed-purpose derive_seed sub-streams of
+  /// sys.seed, so the two streams can never collide or correlate for any
+  /// (seed, iteration) pair — the additive arithmetic this replaces
+  /// (sys.seed + 17 + 7919 i) could alias the channel stream of one seed
+  /// with the noise stream of another.
   std::uint64_t channel_seed(int iteration) const {
+    const std::uint64_t stream = base::derive_seed(sys.seed, kChannelPurpose);
     return fresh_channel_per_iteration
-               ? sys.seed + static_cast<std::uint64_t>(iteration) * 1000003ull
-               : sys.seed;
+               ? base::derive_seed(stream,
+                                   static_cast<std::uint64_t>(iteration))
+               : stream;
   }
   std::uint64_t noise_seed(int iteration) const {
-    return sys.seed + 17 + static_cast<std::uint64_t>(iteration) * 7919ull;
+    return base::derive_seed(base::derive_seed(sys.seed, kNoisePurpose),
+                             static_cast<std::uint64_t>(iteration));
   }
 };
 
 struct TwrIteration {
-  double distance_estimate = -1.0;  ///< [m]; negative = acquisition failure
+  double distance_estimate = -1.0;  ///< [m]; negative = acquisition failure.
+                                    ///< ppm-compensated when
+                                    ///< TwrConfig::compensate_ppm is set.
+  double distance_raw = -1.0;       ///< estimate before ppm compensation [m]
   double toa_bias_a = 0.0;          ///< diagnostic: per-side sync bias [s]
   double toa_bias_b = 0.0;
   bool ok = false;

@@ -22,7 +22,7 @@ void PeakTracker::step_block(const double* /*t*/, double /*dt*/, int n) {
 Receiver::Receiver(ams::Kernel& kernel, const SystemConfig& cfg,
                    const double* rf_input,
                    const IntegratorFactory& make_integrator)
-    : cfg_(cfg), kernel_(&kernel),
+    : cfg_(cfg), kernel_(&kernel), clock_(cfg.clock, cfg.seed),
       adc_(cfg.adc_bits, cfg.adc_vmin, cfg.adc_vmax) {
   lna_ = std::make_unique<Amplifier>(rf_input, cfg.lna_gain_db, cfg.lna_sat,
                                      cfg.lna_bandwidth);
@@ -43,6 +43,7 @@ Receiver::Receiver(ams::Kernel& kernel, const SystemConfig& cfg,
       *itd_, adc_, cfg.slot_period(), cfg.reset_width,
       cfg.integration_window,
       [this](const WindowSample& s) { handle_sample(s); });
+  controller_->set_clock(&clock_);
 
   AgcConfig acfg;
   acfg.vga_min_db = cfg.vga_min_db;
@@ -365,7 +366,8 @@ void Receiver::finish_fine_scan() {
   // Restore the demodulation window length and re-anchor the window grid
   // on the synchronized slot phase for the data phase.
   controller_->set_integration_length(cfg_.integration_window);
-  controller_->set_next_window_start(winning_anchor(kernel_->time()));
+  controller_->set_next_window_start(
+      winning_anchor(clock_.local_time(kernel_->time())));
   sfd_seen_ = false;
   data_slot0_.reset();
   rx_payload_.clear();

@@ -22,6 +22,7 @@
 #include "ams/kernel.hpp"
 #include "uwb/adc.hpp"
 #include "uwb/agc.hpp"
+#include "uwb/clock.hpp"
 #include "uwb/config.hpp"
 #include "uwb/demodulator.hpp"
 #include "uwb/frontend.hpp"
@@ -97,6 +98,10 @@ class Receiver {
   double toa() const;
   const AgcController& agc() const { return *agc_; }
   IntegrateAndDump& integrator() { return *itd_; }
+  /// This node's oscillator model: all acquisition timing (window starts,
+  /// start_acquire/start_genie arguments, the ToA estimate) is in its local
+  /// clock time; the window controller converts at the kernel boundary.
+  const ClockModel& clock() const { return clock_; }
   PeakTracker& squared_peak() { return *sq_peak_; }
   /// All window samples seen (diagnostics; cleared on start_*).
   const std::vector<WindowSample>& samples() const { return samples_; }
@@ -114,6 +119,7 @@ class Receiver {
 
   SystemConfig cfg_;
   ams::Kernel* kernel_;
+  ClockModel clock_;
 
   /// Analog chain.
   std::unique_ptr<Amplifier> lna_;

@@ -23,7 +23,18 @@ void ItdController::start(ams::Kernel& kernel, double first_window_start) {
 
 void ItdController::schedule_phase(ams::Kernel& kernel, double t, int phase) {
   const std::uint64_t epoch = epoch_;
-  kernel.schedule_callback(t, [this, &kernel, epoch, phase](double now) {
+  // `t` is node-local; the kernel runs true time. Each edge lands at its
+  // clock-mapped true time plus that edge's white-jitter draw (identity
+  // clock: t unchanged, bit for bit). A draw (or a large configured clock
+  // offset) that would land the edge before the kernel's current time is
+  // clamped to "fires immediately" — Kernel::schedule_callback rejects
+  // past times outright.
+  double t_true = t;
+  if (clock_ != nullptr) {
+    t_true = clock_->event_true_time(t);
+    if (t_true < kernel.time()) t_true = kernel.time();
+  }
+  kernel.schedule_callback(t_true, [this, &kernel, epoch, phase](double now) {
     if (epoch != epoch_) return;  // stale event from a previous start()
     run_phase(kernel, now, phase);
   });
@@ -57,7 +68,8 @@ void ItdController::run_phase(ams::Kernel& kernel, double /*t*/, int phase) {
         next = pending_start_;
         pending_start_ = -1.0;
       }
-      const double now = kernel.time();
+      const double now = clock_ != nullptr ? clock_->local_time(kernel.time())
+                                           : kernel.time();
       if (next < now + 1e-12) next = now + 1e-12;
       window_start_ = next;
       schedule_phase(kernel, window_start_, 0);

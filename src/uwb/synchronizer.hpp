@@ -13,6 +13,7 @@
 
 #include "ams/kernel.hpp"
 #include "uwb/adc.hpp"
+#include "uwb/clock.hpp"
 #include "uwb/integrator.hpp"
 
 namespace uwbams::uwb {
@@ -46,12 +47,21 @@ class ItdController {
   void set_period(double period) { period_ = period; }
   void set_integration_length(double t_int) { t_int_ = t_int; }
 
+  /// Runs the whole window cycle on a node-local oscillator (clock.hpp):
+  /// every time this controller tracks — window starts, phase edges,
+  /// WindowSample::window_start — is then in *local* clock time, and each
+  /// edge is converted local -> true (including its white-jitter draw) only
+  /// when scheduled into the kernel. Null or identity clock = the historical
+  /// bit-exact behaviour. The pointer must outlive the controller.
+  void set_clock(const ClockModel* clock) { clock_ = clock; }
+
  private:
   void schedule_phase(ams::Kernel& kernel, double t, int phase);
   void run_phase(ams::Kernel& kernel, double t, int phase);
 
   IntegrateAndDump& itd_;
   const Adc& adc_;
+  const ClockModel* clock_ = nullptr;
   double period_;
   double reset_width_;
   double t_int_;

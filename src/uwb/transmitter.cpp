@@ -7,7 +7,8 @@
 namespace uwbams::uwb {
 
 Transmitter::Transmitter(const SystemConfig& cfg)
-    : cfg_(cfg), pulse_(2, cfg.pulse_sigma, cfg.pulse_amplitude),
+    : cfg_(cfg), clock_(cfg.clock, cfg.seed),
+      pulse_(2, cfg.pulse_sigma, cfg.pulse_amplitude),
       // Center the first pulse early in the slot, leaving room for the
       // burst and the multipath tail inside the integration window.
       pulse_offset_(std::max(3.5 * cfg.pulse_sigma, 2e-9)) {}
@@ -15,11 +16,16 @@ Transmitter::Transmitter(const SystemConfig& cfg)
 void Transmitter::send(const Packet& packet, double t_start) {
   packet_ = packet;
   t_start_ = t_start;
+  // One phase-noise draw per transmission on the start edge; the symbol
+  // cadence inside the packet stays coherent with the (offset/drifting)
+  // local oscillator.
+  start_jitter_ = clock_.jitter_at(t_start);
 }
 
 bool Transmitter::busy(double t) const {
   return packet_.has_value() &&
-         t < t_start_ + packet_->duration(cfg_.symbol_period);
+         clock_.local_time(t) <
+             t_start_ + packet_->duration(cfg_.symbol_period);
 }
 
 double Transmitter::first_pulse_time() const {
@@ -30,7 +36,10 @@ double Transmitter::first_pulse_time() const {
 
 double Transmitter::sample_at(double t) const {
   if (!packet_.has_value()) return 0.0;
-  const double rel = t - t_start_;
+  // The waveform runs on the node's local timebase: identity clocks keep
+  // rel == t - t_start_ bit for bit; a ppm-offset clock stretches the pulse
+  // cadence, and the start-edge jitter shifts the whole packet.
+  const double rel = clock_.local_time(t) - t_start_ - start_jitter_;
   if (rel < 0.0) return 0.0;
   const int sym = static_cast<int>(rel / cfg_.symbol_period);
   if (sym >= packet_->total_symbols()) return 0.0;

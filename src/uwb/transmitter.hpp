@@ -11,11 +11,22 @@
 /// restricts the burst scan to the pulses whose support can overlap the
 /// sample (the exact |t_rel| test is still applied, so the summation — and
 /// therefore the waveform — is bit-identical to the full per-pulse scan).
+///
+/// Clock domain: send() start times and first_pulse_time() are in the
+/// node's *local* clock (cfg.clock); the waveform is generated against that
+/// local timebase by mapping the kernel's true time through
+/// ClockModel::local_time per sample, plus one white-jitter draw per send()
+/// on the packet start edge (the pulse clock's phase noise). The node's
+/// digital counter records the *intended* local first-pulse time, so clock
+/// error shows up in the ranging estimate exactly as it does on silicon.
+/// An identity clock (the default) reproduces the historical waveform bit
+/// for bit.
 #pragma once
 
 #include <optional>
 
 #include "ams/kernel.hpp"
+#include "uwb/clock.hpp"
 #include "uwb/config.hpp"
 #include "uwb/packet.hpp"
 #include "uwb/pulse.hpp"
@@ -34,6 +45,8 @@ class Transmitter : public ams::AnalogBlock {
   double first_pulse_time() const;
   /// Offset of the pulse center within its slot.
   double pulse_offset_in_slot() const { return pulse_offset_; }
+  /// This node's oscillator model (built from cfg.clock + cfg.seed).
+  const ClockModel& clock() const { return clock_; }
 
   void step(double t, double dt) override;
   bool supports_batch() const override { return true; }
@@ -45,10 +58,12 @@ class Transmitter : public ams::AnalogBlock {
   double sample_at(double t) const;
 
   SystemConfig cfg_;
+  ClockModel clock_;
   GaussianMonocycle pulse_;
   double pulse_offset_;  ///< pulse center relative to slot start
   std::optional<Packet> packet_;
-  double t_start_ = 0.0;
+  double t_start_ = 0.0;      ///< local-clock packet start
+  double start_jitter_ = 0.0; ///< phase-noise draw of the start edge [s]
   double out_[ams::kMaxBatch] = {};
 };
 

@@ -143,6 +143,41 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(base::percentile_of(xs, 25), 2.0);
 }
 
+TEST(Stats, QuantileSummaryEdgeCases) {
+  // Empty: a well-defined all-zero summary (count 0), not a throw or UB
+  // interpolation indices.
+  const auto empty = base::summarize_quantiles({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.min, 0.0);
+  EXPECT_EQ(empty.p05, 0.0);
+  EXPECT_EQ(empty.p95, 0.0);
+  EXPECT_EQ(empty.max, 0.0);
+
+  // Single element: every quantile collapses onto the value.
+  const auto one = base::summarize_quantiles({42.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 42.5);
+  EXPECT_DOUBLE_EQ(one.min, 42.5);
+  EXPECT_DOUBLE_EQ(one.p05, 42.5);
+  EXPECT_DOUBLE_EQ(one.p50, 42.5);
+  EXPECT_DOUBLE_EQ(one.p95, 42.5);
+  EXPECT_DOUBLE_EQ(one.max, 42.5);
+
+  // Two elements interpolate sanely (no index overrun at the extremes).
+  const auto two = base::summarize_quantiles({1.0, 3.0});
+  EXPECT_EQ(two.count, 2u);
+  EXPECT_DOUBLE_EQ(two.min, 1.0);
+  EXPECT_DOUBLE_EQ(two.max, 3.0);
+  EXPECT_DOUBLE_EQ(two.p50, 2.0);
+  EXPECT_GE(two.p05, 1.0);
+  EXPECT_LE(two.p95, 3.0);
+
+  // percentile_of keeps its contract: the empty input still throws (the
+  // summary wrapper is the defined-degenerate entry point).
+  EXPECT_THROW(base::percentile_of({}, 50.0), std::invalid_argument);
+}
+
 TEST(Stats, LineFitRecoversLine) {
   std::vector<double> x, y;
   for (int i = 0; i < 50; ++i) {

@@ -88,12 +88,27 @@ TEST(Docs, CorePagesExist) {
 // under a group the page has no section structure for would be filed
 // nowhere a reader looks. Keep the group vocabulary closed.
 TEST(Docs, ScenarioGroupsAreKnown) {
-  const std::set<std::string> known = {"bench", "mc", "ablation", "example"};
+  const std::set<std::string> known = {"bench", "mc", "ranging", "ablation",
+                                       "example"};
   for (const auto* s : ScenarioRegistry::instance().list()) {
     EXPECT_TRUE(known.count(s->info.group))
         << "scenario '" << s->info.name << "' uses unknown group '"
         << s->info.group
         << "' — add the group to docs/scenarios.md and this test";
+  }
+}
+
+// The ranging walk-through (docs/ranging.md) must exist and cover both
+// scenarios of the `ranging` group plus the clock-error algebra it
+// documents (closed vocabulary, like the characterization page below).
+TEST(Docs, RangingPageCoversRangingScenarios) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/ranging.md");
+  ASSERT_FALSE(text.empty()) << "docs/ranging.md is missing";
+  for (const char* needle :
+       {"twr_clock", "ranging_network", "ClockModel", "processing time"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "docs/ranging.md does not mention '" << needle << "'";
   }
 }
 

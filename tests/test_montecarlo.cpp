@@ -129,7 +129,9 @@ TEST(Quantiles, SummarizeKnownSample) {
   EXPECT_DOUBLE_EQ(q.min, 1.0);
   EXPECT_DOUBLE_EQ(q.max, 5.0);
   EXPECT_DOUBLE_EQ(q.p50, 3.0);
-  EXPECT_THROW(base::summarize_quantiles({}), std::invalid_argument);
+  // Degenerate inputs are well-defined (see test_base for the full edge
+  // coverage): empty -> all-zero summary with count 0.
+  EXPECT_EQ(base::summarize_quantiles({}).count, 0u);
 }
 
 TEST(Corners, StandardCornerSet) {
