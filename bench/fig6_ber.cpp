@@ -24,8 +24,9 @@
 
 using namespace uwbams;
 
-REGISTER_SCENARIO(fig6_ber, "bench",
-                  "Fig. 6 — BER vs Eb/N0, ideal vs SPICE integrator") {
+REGISTER_SCENARIO_TIERS(fig6_ber, "bench",
+                        "Fig. 6 — BER vs Eb/N0, ideal vs SPICE integrator",
+                        "1k|8k|60k bits per point") {
   uwb::BerConfig base;
   base.sys.dt = 0.2e-9;  // 5 GS/s resolves the 500 MHz-class pulses
   base.sys.seed = ctx.seed;

@@ -76,8 +76,10 @@ void emit_summary_metrics(runner::RunContext& ctx, const core::McResult& mc) {
 
 }  // namespace
 
-REGISTER_SCENARIO(mc_itd, "mc",
-                  "Mismatch Monte-Carlo characterization of the I&D cell") {
+REGISTER_SCENARIO_TIERS(mc_itd, "mc",
+                        "Mismatch Monte-Carlo characterization of the I&D "
+                        "cell",
+                        "8|50|200 trials") {
   core::McConfig cfg;
   cfg.trials = ctx.pick(8, 50, 200);
   cfg.seed = ctx.seed;
@@ -119,8 +121,9 @@ REGISTER_SCENARIO(mc_itd, "mc",
   return 0;
 }
 
-REGISTER_SCENARIO(corner_ber, "mc",
-                  "BER across the five PVT sign-off corners") {
+REGISTER_SCENARIO_TIERS(corner_ber, "mc",
+                        "BER across the five PVT sign-off corners",
+                        "2|3|6 Eb/N0 pts x 0.4k|4k|20k bits") {
   const auto corners = core::standard_corners();
   const std::vector<double> ebn0 =
       ctx.pick<std::vector<double>>({10, 14}, {6, 10, 14}, {4, 6, 8, 10, 12, 14});
@@ -213,9 +216,10 @@ REGISTER_SCENARIO(corner_ber, "mc",
   return 0;
 }
 
-REGISTER_SCENARIO(yield_report, "mc",
-                  "Yield sign-off: corner+mismatch MC vs the §4 constraints "
-                  "(BENCH_mc.json)") {
+REGISTER_SCENARIO_TIERS(yield_report, "mc",
+                        "Yield sign-off: corner+mismatch MC vs the §4 "
+                        "constraints (BENCH_mc.json)",
+                        "12|100|400 trials") {
   core::McConfig cfg;
   cfg.trials = ctx.pick(12, 100, 400);
   cfg.seed = ctx.seed;

@@ -29,9 +29,10 @@
 
 using namespace uwbams;
 
-REGISTER_SCENARIO(twr_clock, "ranging",
-                  "TWR distance bias vs crystal ppm offset (drift-bias "
-                  "line + ppm compensation)") {
+REGISTER_SCENARIO_TIERS(twr_clock, "ranging",
+                        "TWR distance bias vs crystal ppm offset (drift-bias "
+                        "line + ppm compensation)",
+                        "3|7|11 ppm pts x 2|4|8 iter") {
   // A long processing time makes the PT-scaling term dominate the
   // estimator jitter: at PT = 40 us, 1 ppm of responder offset biases the
   // distance by -0.5 c PT 1e-6 ~ -6 mm.
@@ -150,9 +151,10 @@ REGISTER_SCENARIO(twr_clock, "ranging",
   return 0;
 }
 
-REGISTER_SCENARIO(ranging_network, "ranging",
-                  "N-node TWR network: per-pair CM1 distances + 2-D "
-                  "position solve (BENCH_ranging.json)") {
+REGISTER_SCENARIO_TIERS(ranging_network, "ranging",
+                        "N-node TWR network: per-pair CM1 distances + 2-D "
+                        "position solve (BENCH_ranging.json)",
+                        "4|8|16 nodes x 2|2|3 exch") {
   uwb::NetworkConfig cfg;
   cfg.sys.dt = ctx.pick(0.2e-9, 0.2e-9, 0.1e-9);
   cfg.sys.seed = ctx.seed;
@@ -187,7 +189,7 @@ REGISTER_SCENARIO(ranging_network, "ranging",
   for (const auto& m : res.pairs) {
     pairs.add_row({std::to_string(m.node_a), std::to_string(m.node_b),
                    base::Table::num(m.true_distance, 4),
-                   base::Table::num(m.est_distance, 4),
+                   m.ok() ? base::Table::num(m.est_distance, 4) : "n/a",
                    m.ok() ? base::Table::num(m.est_distance - m.true_distance, 4)
                           : "n/a",
                    std::to_string(m.failures)});

@@ -1,0 +1,85 @@
+#include "net/mobility.hpp"
+
+#include <cmath>
+
+namespace uwbams::net {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+// Specular reflection of x into [0, limit] (handles multiple bounces for
+// steps longer than the area, which short round periods never produce but
+// the math should survive).
+double reflect(double x, double limit, double* v) {
+  while (x < 0.0 || x > limit) {
+    if (x < 0.0) {
+      x = -x;
+      *v = -*v;
+    } else {
+      x = 2.0 * limit - x;
+      *v = -*v;
+    }
+  }
+  return x;
+}
+}  // namespace
+
+MobilityModel::MobilityModel(const MobilityConfig& cfg, std::size_t tag_count,
+                             std::uint64_t seed_stream)
+    : cfg_(cfg), tags_(tag_count) {
+  base::Rng root(seed_stream);
+  for (std::size_t t = 0; t < tag_count; ++t) {
+    TagState& s = tags_[t];
+    s.rng = root.fork(static_cast<std::uint64_t>(t));
+    if (cfg_.kind == MobilityKind::kVelocity) {
+      const double ang = s.rng.uniform(0.0, 2.0 * kPi);
+      s.vx = cfg_.speed_mps * std::cos(ang);
+      s.vy = cfg_.speed_mps * std::sin(ang);
+    }
+  }
+}
+
+void MobilityModel::advance(std::size_t t, double dt_s, double* x, double* y) {
+  TagState& s = tags_.at(t);
+  switch (cfg_.kind) {
+    case MobilityKind::kStatic:
+      return;
+    case MobilityKind::kVelocity: {
+      double nx = *x + s.vx * dt_s;
+      double ny = *y + s.vy * dt_s;
+      nx = reflect(nx, cfg_.area_m, &s.vx);
+      ny = reflect(ny, cfg_.area_m, &s.vy);
+      *x = nx;
+      *y = ny;
+      return;
+    }
+    case MobilityKind::kWaypoint: {
+      double budget = cfg_.speed_mps * dt_s;
+      while (budget > 0.0) {
+        if (!s.has_target) {
+          s.tx = s.rng.uniform(0.0, cfg_.area_m);
+          s.ty = s.rng.uniform(0.0, cfg_.area_m);
+          s.has_target = true;
+        }
+        const double dx = s.tx - *x;
+        const double dy = s.ty - *y;
+        const double dist = std::hypot(dx, dy);
+        if (dist <= budget) {
+          // Arrive and draw the next leg with the remaining travel budget.
+          *x = s.tx;
+          *y = s.ty;
+          s.has_target = false;
+          budget -= dist;
+          if (dist == 0.0) budget = 0.0;  // degenerate same-point target
+        } else {
+          *x += dx / dist * budget;
+          *y += dy / dist * budget;
+          budget = 0.0;
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace uwbams::net

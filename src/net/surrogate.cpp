@@ -1,0 +1,191 @@
+#include "net/surrogate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/json.hpp"
+
+namespace uwbams::net {
+
+namespace {
+
+void check_axis(const std::vector<double>& axis, const char* name) {
+  if (axis.empty())
+    throw std::invalid_argument(std::string("SurrogateTable: empty ") + name +
+                                " axis");
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    if (axis[i] <= axis[i - 1])
+      throw std::invalid_argument(std::string("SurrogateTable: ") + name +
+                                  " axis must be strictly increasing");
+}
+
+JsonValue axis_json(const std::vector<double>& axis) {
+  JsonArray arr;
+  for (const double v : axis) arr.emplace_back(v);
+  return JsonValue(std::move(arr));
+}
+
+std::vector<double> axis_from_json(const JsonValue& v) {
+  std::vector<double> out;
+  for (const auto& e : v.as_array()) out.push_back(e.as_number());
+  return out;
+}
+
+}  // namespace
+
+SurrogateTable::SurrogateTable(std::vector<double> ranges_m,
+                               std::vector<double> noise_psd,
+                               std::vector<double> dppm,
+                               double outlier_threshold_m,
+                               std::uint64_t calib_seed, int samples_per_cell)
+    : ranges_m_(std::move(ranges_m)),
+      noise_psd_(std::move(noise_psd)),
+      dppm_(std::move(dppm)),
+      outlier_threshold_m_(outlier_threshold_m),
+      calib_seed_(calib_seed),
+      samples_per_cell_(samples_per_cell) {
+  check_axis(ranges_m_, "range");
+  check_axis(noise_psd_, "noise");
+  check_axis(dppm_, "dppm");
+  if (outlier_threshold_m_ <= 0.0)
+    throw std::invalid_argument(
+        "SurrogateTable: outlier threshold must be positive");
+  cells_.resize(ranges_m_.size() * noise_psd_.size() * dppm_.size());
+  for (std::size_t ri = 0; ri < ranges_m_.size(); ++ri)
+    for (std::size_t ni = 0; ni < noise_psd_.size(); ++ni)
+      for (std::size_t pi = 0; pi < dppm_.size(); ++pi) {
+        SurrogateCell& c = cell(ri, ni, pi);
+        c.range_m = ranges_m_[ri];
+        c.noise_psd = noise_psd_[ni];
+        c.dppm = dppm_[pi];
+      }
+}
+
+SurrogateCell& SurrogateTable::cell(std::size_t ri, std::size_t ni,
+                                    std::size_t pi) {
+  return cells_[(ri * noise_psd_.size() + ni) * dppm_.size() + pi];
+}
+
+const SurrogateCell& SurrogateTable::cell(std::size_t ri, std::size_t ni,
+                                          std::size_t pi) const {
+  return cells_[(ri * noise_psd_.size() + ni) * dppm_.size() + pi];
+}
+
+std::size_t SurrogateTable::axis_index(const std::vector<double>& axis,
+                                       double v) const {
+  // Nearest grid value; ties resolve to the lower index so the mapping is
+  // total and deterministic. Out-of-grid queries clamp to the edge cells.
+  std::size_t best = 0;
+  double best_d = std::abs(v - axis[0]);
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    const double d = std::abs(v - axis[i]);
+    if (d < best_d) {
+      best = i;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+const SurrogateCell& SurrogateTable::lookup(double range_m, double noise_psd,
+                                            double dppm) const {
+  if (cells_.empty())
+    throw std::logic_error("SurrogateTable: lookup on an empty table");
+  return cell(axis_index(ranges_m_, range_m),
+              axis_index(noise_psd_, noise_psd),
+              axis_index(dppm_, std::abs(dppm)));
+}
+
+SurrogateDraw SurrogateTable::draw(double range_m, double noise_psd,
+                                   double dppm, base::Rng& rng) const {
+  const SurrogateCell& c = lookup(range_m, noise_psd, dppm);
+  SurrogateDraw d;
+  if (rng.uniform() < c.p_fail) return d;  // acquisition failure
+  d.ok = true;
+  const double u = rng.uniform();
+  const double g = rng.gaussian();
+  if (u < c.p_outlier) {
+    d.outlier = true;
+    d.error_m = c.outlier_bias_m + c.outlier_spread_m * g;
+  } else {
+    d.error_m = c.bias_m + c.spread_m * g;
+  }
+  d.distance_m = range_m + d.error_m;
+  return d;
+}
+
+std::string SurrogateTable::to_json() const {
+  JsonObject root;
+  root["schema"] = JsonValue("uwbams-surrogate-v1");
+  root["calib_seed"] = JsonValue(static_cast<double>(calib_seed_));
+  root["samples_per_cell"] = JsonValue(samples_per_cell_);
+  root["outlier_threshold_m"] = JsonValue(outlier_threshold_m_);
+  root["range_m"] = axis_json(ranges_m_);
+  root["noise_psd"] = axis_json(noise_psd_);
+  root["dppm"] = axis_json(dppm_);
+  JsonArray cells;
+  for (const auto& c : cells_) {
+    JsonObject o;
+    o["range_m"] = JsonValue(c.range_m);
+    o["noise_psd"] = JsonValue(c.noise_psd);
+    o["dppm"] = JsonValue(c.dppm);
+    o["samples"] = JsonValue(c.samples);
+    o["ok"] = JsonValue(c.ok);
+    o["outliers"] = JsonValue(c.outliers);
+    o["p_fail"] = JsonValue(c.p_fail);
+    o["p_outlier"] = JsonValue(c.p_outlier);
+    o["bias_m"] = JsonValue(c.bias_m);
+    o["spread_m"] = JsonValue(c.spread_m);
+    o["outlier_bias_m"] = JsonValue(c.outlier_bias_m);
+    o["outlier_spread_m"] = JsonValue(c.outlier_spread_m);
+    cells.emplace_back(std::move(o));
+  }
+  root["cells"] = JsonValue(std::move(cells));
+  return JsonValue(std::move(root)).dump(2);
+}
+
+SurrogateTable SurrogateTable::from_json(const std::string& text) {
+  const JsonValue root = parse_json(text);
+  const std::string schema = root.at("schema").as_string();
+  if (schema != "uwbams-surrogate-v1")
+    throw std::invalid_argument("SurrogateTable: unknown schema '" + schema +
+                                "'");
+  SurrogateTable t(
+      axis_from_json(root.at("range_m")), axis_from_json(root.at("noise_psd")),
+      axis_from_json(root.at("dppm")),
+      root.at("outlier_threshold_m").as_number(),
+      static_cast<std::uint64_t>(root.at("calib_seed").as_number()),
+      static_cast<int>(root.at("samples_per_cell").as_number()));
+  const auto& cells = root.at("cells").as_array();
+  if (cells.size() != t.cells_.size())
+    throw std::invalid_argument(
+        "SurrogateTable: cell count does not match the grid axes");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const JsonValue& o = cells[i];
+    SurrogateCell& c = t.cells_[i];
+    // Row-major cell order is part of the schema; reject a shuffled file
+    // instead of silently re-mapping statistics onto the wrong geometry.
+    if (o.at("range_m").as_number() != c.range_m ||
+        o.at("noise_psd").as_number() != c.noise_psd ||
+        o.at("dppm").as_number() != c.dppm)
+      throw std::invalid_argument(
+          "SurrogateTable: cell " + std::to_string(i) +
+          " is out of row-major grid order");
+    c.samples = static_cast<int>(o.at("samples").as_number());
+    c.ok = static_cast<int>(o.at("ok").as_number());
+    c.outliers = static_cast<int>(o.at("outliers").as_number());
+    c.p_fail = o.at("p_fail").as_number();
+    c.p_outlier = o.at("p_outlier").as_number();
+    c.bias_m = o.at("bias_m").as_number();
+    c.spread_m = o.at("spread_m").as_number();
+    c.outlier_bias_m = o.at("outlier_bias_m").as_number();
+    c.outlier_spread_m = o.at("outlier_spread_m").as_number();
+    if (c.p_fail < 0.0 || c.p_fail > 1.0 || c.p_outlier < 0.0 ||
+        c.p_outlier > 1.0 || c.spread_m < 0.0 || c.outlier_spread_m < 0.0)
+      throw std::invalid_argument("SurrogateTable: cell " + std::to_string(i) +
+                                  " carries out-of-range statistics");
+  }
+  return t;
+}
+
+}  // namespace uwbams::net

@@ -1,0 +1,122 @@
+/// @file surrogate.hpp
+/// @brief Calibrated statistical PHY surrogate for TWR range measurements.
+///
+/// PR 5's RangingNetwork runs the full waveform simulator per node pair
+/// (~45 ms per TWR exchange), so O(N^2) full-physics ranging caps networks
+/// at ~16 nodes. The surrogate replaces a *single exchange* by a draw from
+/// a per-cell ToA-error distribution that was fitted against the real
+/// engine over a (range, noise PSD, |delta-ppm|) grid:
+///
+///   * `p_fail`     — acquisition-failure probability (no estimate at all);
+///   * `p_outlier`  — wrong-slot probability among successful exchanges
+///                    (a half-symbol sync error is ~9.6 m with the default
+///                    128 ns symbol);
+///   * `bias/spread`— mean and stddev of the *inlier* range error,
+///                    capturing the CM1 leading-edge latch bias the paper's
+///                    Table 2 mechanism produces (late, never early);
+///   * `outlier_bias/spread` — the wrong-slot error cluster.
+///
+/// Lookup is nearest-cell per axis (the error statistics vary slowly along
+/// each axis at the grid spacings the calibration uses); a draw consumes a
+/// caller-provided Rng, so determinism is inherited from the caller's
+/// fixed-purpose seed derivation, not from draw order.
+///
+/// The table serializes to JSON (net/json.hpp) with %.17g doubles and
+/// sorted keys, so calibrate -> save -> load -> simulate is bit-identical
+/// to calibrate -> simulate: calibration is a cached artifact, not a
+/// per-run cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.hpp"
+
+namespace uwbams::net {
+
+/// Fitted error statistics of one (range, noise, dppm) grid cell.
+struct SurrogateCell {
+  double range_m = 0.0;     ///< cell's true node separation [m]
+  double noise_psd = 0.0;   ///< receiver-input N0 [V^2/Hz]
+  double dppm = 0.0;        ///< |ppm_a - ppm_b| crystal offset split
+  int samples = 0;          ///< calibration exchanges run for this cell
+  int ok = 0;               ///< exchanges that acquired
+  int outliers = 0;         ///< ok exchanges beyond the outlier threshold
+  double p_fail = 1.0;      ///< acquisition-failure probability
+  double p_outlier = 0.0;   ///< wrong-slot probability among ok exchanges
+  double bias_m = 0.0;      ///< inlier mean range error [m]
+  double spread_m = 0.0;    ///< inlier range-error stddev [m]
+  double outlier_bias_m = 0.0;    ///< mean outlier error [m]
+  double outlier_spread_m = 0.0;  ///< outlier error stddev [m]
+
+  bool operator==(const SurrogateCell&) const = default;
+};
+
+/// One surrogate range measurement (the statistical stand-in for a full
+/// TwrIteration).
+struct SurrogateDraw {
+  bool ok = false;        ///< false = acquisition failure, no estimate
+  bool outlier = false;   ///< drawn from the wrong-slot cluster
+  double distance_m = 0.0;  ///< estimated distance [m]
+  double error_m = 0.0;     ///< distance_m - true range [m]
+};
+
+class SurrogateTable {
+ public:
+  SurrogateTable() = default;
+  /// Axes must be non-empty and strictly increasing; cells row-major over
+  /// ranges x noise x dppm (dppm fastest). Throws std::invalid_argument.
+  SurrogateTable(std::vector<double> ranges_m, std::vector<double> noise_psd,
+                 std::vector<double> dppm, double outlier_threshold_m,
+                 std::uint64_t calib_seed, int samples_per_cell);
+
+  const std::vector<double>& ranges_m() const { return ranges_m_; }
+  const std::vector<double>& noise_psd() const { return noise_psd_; }
+  const std::vector<double>& dppm() const { return dppm_; }
+  double outlier_threshold_m() const { return outlier_threshold_m_; }
+  std::uint64_t calib_seed() const { return calib_seed_; }
+  int samples_per_cell() const { return samples_per_cell_; }
+
+  std::size_t cell_count() const { return cells_.size(); }
+  /// Flat row-major cell access (the calibration fitter writes through
+  /// this; tests build synthetic tables with it).
+  SurrogateCell& cell_at(std::size_t i) { return cells_.at(i); }
+  SurrogateCell& cell(std::size_t ri, std::size_t ni, std::size_t pi);
+  const SurrogateCell& cell(std::size_t ri, std::size_t ni,
+                            std::size_t pi) const;
+  const std::vector<SurrogateCell>& cells() const { return cells_; }
+
+  /// Nearest grid cell per axis (clamped at the grid edges).
+  const SurrogateCell& lookup(double range_m, double noise_psd,
+                              double dppm) const;
+
+  /// Draws one surrogate TWR measurement for a link of true length
+  /// `range_m`. Consumes a fixed draw pattern from `rng` (fail uniform,
+  /// then outlier uniform + one gaussian when acquired), so callers that
+  /// hand each measurement its own derive_seed sub-stream get results
+  /// independent of evaluation order and worker count.
+  SurrogateDraw draw(double range_m, double noise_psd, double dppm,
+                     base::Rng& rng) const;
+
+  /// JSON artifact round trip (schema "uwbams-surrogate-v1"; see
+  /// docs/netscale.md). from_json throws net::JsonError or
+  /// std::invalid_argument on schema violations.
+  std::string to_json() const;
+  static SurrogateTable from_json(const std::string& text);
+
+  bool operator==(const SurrogateTable&) const = default;
+
+ private:
+  std::size_t axis_index(const std::vector<double>& axis, double v) const;
+
+  std::vector<double> ranges_m_;
+  std::vector<double> noise_psd_;
+  std::vector<double> dppm_;
+  double outlier_threshold_m_ = 4.8;
+  std::uint64_t calib_seed_ = 0;
+  int samples_per_cell_ = 0;
+  std::vector<SurrogateCell> cells_;
+};
+
+}  // namespace uwbams::net

@@ -17,10 +17,12 @@ namespace {
 constexpr const char* kUsage =
     "usage: uwbams_run [options] [scenario ...]\n"
     "\n"
-    "  --list            list registered scenarios and exit\n"
+    "  --list            list registered scenarios (name, group, --scale\n"
+    "                    tiers, title) and exit\n"
     "  --all             run every registered scenario\n"
     "  --group=G         with --list/--all: restrict to a group\n"
-    "                    (bench | mc | ranging | ablation | example)\n"
+    "                    (bench | mc | netscale | ranging | ablation |\n"
+    "                    example)\n"
     "  --scale=S         workload tier: fast | default | full\n"
     "  --jobs=N          worker threads for sweeps (0 = all cores)\n"
     "  --seed=N          base seed for the scenario's sweeps\n"
@@ -123,10 +125,11 @@ int run_cli(int argc, const char* const* argv) {
   auto& registry = ScenarioRegistry::instance();
 
   if (opt.list) {
-    std::printf("%-28s %-10s %s\n", "NAME", "GROUP", "TITLE");
+    std::printf("%-20s %-10s %-34s %s\n", "NAME", "GROUP", "SCALES", "TITLE");
     for (const Scenario* s : registry.list(opt.group))
-      std::printf("%-28s %-10s %s\n", s->info.name.c_str(),
-                  s->info.group.c_str(), s->info.title.c_str());
+      std::printf("%-20s %-10s %-34s %s\n", s->info.name.c_str(),
+                  s->info.group.c_str(), scales_label(s->info).c_str(),
+                  s->info.title.c_str());
     return 0;
   }
 

@@ -12,9 +12,16 @@
 #include <string>
 #include <vector>
 
+#include "runner/registry.hpp"
 #include "runner/scenario.hpp"
 
 namespace uwbams::runner {
+
+// The SCALES column of `--list`: the scenario's own fast|default|full tier
+// annotation, or the generic tier names when it declared none.
+inline std::string scales_label(const ScenarioInfo& info) {
+  return info.tiers.empty() ? "fast|default|full" : info.tiers;
+}
 
 struct CliOptions {
   bool help = false;

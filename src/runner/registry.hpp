@@ -18,6 +18,10 @@ struct ScenarioInfo {
   std::string name;   // CLI name, e.g. "fig6_ber"
   std::string group;  // "bench" | "ablation" | "example"
   std::string title;  // one-line description shown by --list
+  // Optional --scale tier annotation shown by --list, written as the
+  // fast|default|full workloads in one compact string (e.g. "4|8|16 nodes").
+  // Empty = the scenario has not spelled out its tiers.
+  std::string tiers;
 };
 
 using ScenarioFn = std::function<int(RunContext&)>;
@@ -59,5 +63,16 @@ struct ScenarioRegistrar {
 #define REGISTER_SCENARIO(id, group, title)                                  \
   static int uwbams_scenario_##id(::uwbams::runner::RunContext& ctx);        \
   static const ::uwbams::runner::ScenarioRegistrar uwbams_registrar_##id(    \
-      {#id, group, title}, &uwbams_scenario_##id);                           \
+      {#id, group, title, ""}, &uwbams_scenario_##id);                       \
+  static int uwbams_scenario_##id(::uwbams::runner::RunContext& ctx)
+
+// REGISTER_SCENARIO plus the fast|default|full tier annotation `--list`
+// prints in its SCALES column:
+//
+//   REGISTER_SCENARIO_TIERS(ranging_network, "ranging", "N-node TWR ...",
+//                           "4|8|16 nodes") { ... }
+#define REGISTER_SCENARIO_TIERS(id, group, title, tiers)                     \
+  static int uwbams_scenario_##id(::uwbams::runner::RunContext& ctx);        \
+  static const ::uwbams::runner::ScenarioRegistrar uwbams_registrar_##id(    \
+      {#id, group, title, tiers}, &uwbams_scenario_##id);                    \
   static int uwbams_scenario_##id(::uwbams::runner::RunContext& ctx)

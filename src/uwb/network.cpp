@@ -345,16 +345,15 @@ PairMeasurement RangingNetwork::measure_pair(int k) const {
     cfg_e.clock_b = node_clock(i_initiates ? j : i);
     // compensate_ppm consumes clock_a/clock_b, so the swap is transparent
     // to the correction term's sign.
-    TwoWayRanging engine(cfg_e, make_integrator_);
-    const auto it = engine.run_iteration(cfg_e.channel_seed(e),
-                                         cfg_e.noise_seed(e));
+    const auto it = run_twr_exchange(cfg_e, make_integrator_, e);
     ++m.exchanges;
     if (it.ok)
       est.add(it.distance_estimate);
     else
       ++m.failures;
   }
-  if (est.count() > 0) m.est_distance = est.mean();
+  m.ok_exchanges = static_cast<int>(est.count());
+  if (m.ok()) m.est_distance = est.mean();
   return m;
 }
 

@@ -70,10 +70,15 @@ struct PairMeasurement {
   int node_a = 0;               ///< lower node index of the pair
   int node_b = 0;               ///< higher node index
   double true_distance = 0.0;   ///< [m]
-  double est_distance = -1.0;   ///< mean over ok exchanges [m]; <0 = none ok
+  double est_distance = 0.0;    ///< mean over ok exchanges [m]; only
+                                ///< meaningful when ok()
   int exchanges = 0;
+  int ok_exchanges = 0;         ///< exchanges that acquired (the estimate
+                                ///< averages over exactly these)
   int failures = 0;             ///< acquisition failures among the exchanges
-  bool ok() const { return est_distance >= 0.0; }
+  /// Explicit success state — no magic sentinel in est_distance: a pair is
+  /// usable iff at least one exchange acquired.
+  bool ok() const { return ok_exchanges > 0; }
 };
 
 struct NetworkResult {

@@ -179,4 +179,12 @@ TwrResult TwoWayRanging::run() {
   return res;
 }
 
+TwrIteration run_twr_exchange(const TwrConfig& cfg,
+                              const IntegratorFactory& make_integrator,
+                              int exchange) {
+  TwoWayRanging engine(cfg, make_integrator);
+  return engine.run_iteration(cfg.channel_seed(exchange),
+                              cfg.noise_seed(exchange));
+}
+
 }  // namespace uwbams::uwb

@@ -140,4 +140,14 @@ class TwoWayRanging {
   IntegratorFactory make_integrator_;
 };
 
+/// One TWR exchange as a standalone call: builds the engine and derives the
+/// channel/noise sub-streams of exchange index `exchange` from cfg.sys.seed
+/// exactly as TwoWayRanging::run() does. The shared single-exchange entry
+/// point of the network layer (RangingNetwork) and the PHY-surrogate
+/// calibration pipeline (net/calibrate.hpp), so both sample identical
+/// physics for a given (seed, exchange).
+TwrIteration run_twr_exchange(const TwrConfig& cfg,
+                              const IntegratorFactory& make_integrator,
+                              int exchange);
+
 }  // namespace uwbams::uwb

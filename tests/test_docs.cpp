@@ -88,8 +88,8 @@ TEST(Docs, CorePagesExist) {
 // under a group the page has no section structure for would be filed
 // nowhere a reader looks. Keep the group vocabulary closed.
 TEST(Docs, ScenarioGroupsAreKnown) {
-  const std::set<std::string> known = {"bench", "mc", "ranging", "ablation",
-                                       "example"};
+  const std::set<std::string> known = {"bench", "mc",       "netscale",
+                                       "ranging", "ablation", "example"};
   for (const auto* s : ScenarioRegistry::instance().list()) {
     EXPECT_TRUE(known.count(s->info.group))
         << "scenario '" << s->info.name << "' uses unknown group '"
@@ -109,6 +109,23 @@ TEST(Docs, RangingPageCoversRangingScenarios) {
        {"twr_clock", "ranging_network", "ClockModel", "processing time"}) {
     EXPECT_NE(text.find(needle), std::string::npos)
         << "docs/ranging.md does not mention '" << needle << "'";
+  }
+}
+
+// The large-scale networking walk-through (docs/netscale.md) must exist
+// and cover the calibrate -> validate -> simulate workflow: all three
+// `netscale` scenarios, the surrogate cache hand-off, and the solver /
+// fault knobs a reader needs to interpret the results.
+TEST(Docs, NetscalePageCoversNetscaleScenarios) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/netscale.md");
+  ASSERT_FALSE(text.empty()) << "docs/netscale.md is missing";
+  for (const char* needle :
+       {"surrogate_fit", "netscale_static", "netscale_mobility",
+        "UWBAMS_SURROGATE", "surrogate.json", "packet_loss",
+        "anchor_dropout", "held-out"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "docs/netscale.md does not mention '" << needle << "'";
   }
 }
 

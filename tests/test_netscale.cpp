@@ -1,0 +1,479 @@
+// test_netscale — the src/net/ surrogate + event-driven engine tier.
+//
+// Three layers of guarantees:
+//   * artifact layer: the JSON parser round-trips the surrogate table byte
+//     for byte and rejects malformed/mangled files loudly;
+//   * statistical layer: the calibrated surrogate matches *held-out*
+//     full-physics TWR exchanges (bias confidence interval, spread band,
+//     outlier/failure binomial bounds) — the surrogate-vs-engine honesty
+//     gate CI runs on every push;
+//   * determinism layer: calibration and the network engine are
+//     bit-identical across worker counts and re-runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/parallel.hpp"
+#include "base/random.hpp"
+#include "core/block_variant.hpp"
+#include "net/calibrate.hpp"
+#include "net/engine.hpp"
+#include "net/json.hpp"
+#include "net/mobility.hpp"
+#include "net/surrogate.hpp"
+
+using namespace uwbams;
+
+namespace {
+
+// Synthetic table over a grid wide enough for the engine's 12 m link
+// budget; every cell carries the same mixture parameters.
+net::SurrogateTable synthetic_table(double bias, double spread,
+                                    double p_fail = 0.0,
+                                    double p_outlier = 0.0) {
+  net::SurrogateTable t({3.0, 6.0, 9.0, 12.0}, {8e-19}, {0.0, 40.0}, 4.8,
+                        /*calib_seed=*/7, /*samples_per_cell=*/8);
+  for (std::size_t i = 0; i < t.cell_count(); ++i) {
+    auto& c = t.cell_at(i);
+    c.samples = 8;
+    c.ok = 8;
+    c.outliers = 0;
+    c.p_fail = p_fail;
+    c.p_outlier = p_outlier;
+    c.bias_m = bias;
+    c.spread_m = spread;
+    c.outlier_bias_m = 9.6;
+    c.outlier_spread_m = 0.5;
+  }
+  return t;
+}
+
+uwb::IntegratorFactory ideal_factory() {
+  return core::make_integrator_factory(core::IntegratorKind::kIdeal,
+                                       uwb::SystemConfig{});
+}
+
+// Small single-cell calibration config: full physics, so keep the exchange
+// count low (each exchange is ~45 ms of waveform simulation).
+net::CalibrationConfig tiny_calibration() {
+  net::CalibrationConfig cal;
+  cal.twr.sys.dt = 0.2e-9;
+  cal.ranges_m = {8.0};
+  cal.noise_psd = {8e-19};
+  cal.dppm = {0.0};
+  cal.samples_per_cell = 6;
+  cal.seed = 11;
+  return cal;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- JSON
+
+TEST(NetJson, RoundTripPreservesValuesAndIsByteStable) {
+  net::JsonObject obj;
+  obj["name"] = net::JsonValue("table");
+  obj["count"] = net::JsonValue(3);
+  obj["scale"] = net::JsonValue(0.1);  // not exactly representable
+  obj["flag"] = net::JsonValue(true);
+  net::JsonArray arr;
+  arr.emplace_back(1.5);
+  arr.emplace_back("two");
+  arr.emplace_back(net::JsonValue());
+  obj["items"] = net::JsonValue(std::move(arr));
+  const net::JsonValue v{std::move(obj)};
+
+  const std::string text = v.dump(2);
+  const net::JsonValue parsed = net::parse_json(text);
+  EXPECT_EQ(parsed.at("name").as_string(), "table");
+  EXPECT_EQ(parsed.at("count").as_number(), 3.0);
+  EXPECT_EQ(parsed.at("scale").as_number(), 0.1);
+  EXPECT_TRUE(parsed.at("flag").as_bool());
+  ASSERT_EQ(parsed.at("items").as_array().size(), 3u);
+  EXPECT_TRUE(parsed.at("items").as_array()[2].is_null());
+  // parse -> dump is the identity on canonical output (%.17g + sorted keys).
+  EXPECT_EQ(parsed.dump(2), text);
+}
+
+TEST(NetJson, RejectsMalformedInput) {
+  EXPECT_THROW(net::parse_json("{"), net::JsonError);
+  EXPECT_THROW(net::parse_json("[1, 2,]"), net::JsonError);
+  EXPECT_THROW(net::parse_json("{\"a\": 1} garbage"), net::JsonError);
+  EXPECT_THROW(net::parse_json("{\"a\" 1}"), net::JsonError);
+  EXPECT_THROW(net::parse_json(""), net::JsonError);
+  // Kind mismatches on access are schema errors, also loud.
+  const net::JsonValue v = net::parse_json("{\"a\": 1}");
+  EXPECT_THROW(v.at("missing"), net::JsonError);
+  EXPECT_THROW(v.at("a").as_string(), net::JsonError);
+}
+
+// ------------------------------------------------------------- surrogate
+
+TEST(Surrogate, JsonRoundTripIsExact) {
+  net::SurrogateTable t = synthetic_table(0.8, 0.3, 0.05, 0.02);
+  t.cell_at(3).bias_m = 1.23456789012345;  // exercise %.17g fidelity
+  const std::string text = t.to_json();
+  const net::SurrogateTable back = net::SurrogateTable::from_json(text);
+  EXPECT_TRUE(t == back);
+  EXPECT_EQ(back.to_json(), text);  // byte-stable cache round trip
+}
+
+TEST(Surrogate, FromJsonRejectsMangledTables) {
+  const net::SurrogateTable t = synthetic_table(0.5, 0.2);
+  // Schema renames, shuffled cells and out-of-range stats are all fatal.
+  std::string bad_schema = t.to_json();
+  const auto pos = bad_schema.find("uwbams-surrogate-v1");
+  ASSERT_NE(pos, std::string::npos);
+  bad_schema.replace(pos, 19, "uwbams-surrogate-v9");
+  EXPECT_THROW(net::SurrogateTable::from_json(bad_schema),
+               std::invalid_argument);
+
+  std::string bad_prob = t.to_json();
+  const auto ppos = bad_prob.find("\"p_fail\": 0");
+  ASSERT_NE(ppos, std::string::npos);
+  bad_prob.replace(ppos, 11, "\"p_fail\": 2");
+  EXPECT_THROW(net::SurrogateTable::from_json(bad_prob),
+               std::invalid_argument);
+
+  EXPECT_THROW(net::SurrogateTable::from_json("{\"schema\": \"x\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(net::SurrogateTable::from_json("not json"), net::JsonError);
+}
+
+TEST(Surrogate, LookupSelectsNearestCellAndClamps) {
+  net::SurrogateTable t = synthetic_table(0.0, 0.1);
+  // Tag each cell with a recognizable bias = range + dppm/100.
+  for (std::size_t i = 0; i < t.cell_count(); ++i) {
+    auto& c = t.cell_at(i);
+    c.bias_m = c.range_m + c.dppm / 100.0;
+  }
+  EXPECT_EQ(t.lookup(6.4, 8e-19, 0.0).bias_m, 6.0);
+  EXPECT_EQ(t.lookup(7.6, 8e-19, 0.0).bias_m, 9.0);
+  EXPECT_EQ(t.lookup(0.1, 8e-19, 0.0).bias_m, 3.0);    // clamped low
+  EXPECT_EQ(t.lookup(100.0, 8e-19, 0.0).bias_m, 12.0); // clamped high
+  EXPECT_EQ(t.lookup(6.0, 8e-19, 35.0).bias_m, 6.4);   // dppm axis
+  EXPECT_EQ(t.lookup(6.0, 8e-19, -35.0).bias_m, 6.4);  // |dppm| symmetric
+}
+
+TEST(Surrogate, DrawMatchesCellStatistics) {
+  const net::SurrogateTable t = synthetic_table(1.0, 0.25, 0.1, 0.0);
+  base::Rng rng(42);
+  int ok = 0;
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = t.draw(6.0, 8e-19, 0.0, rng);
+    if (!d.ok) continue;
+    ++ok;
+    sum += d.error_m;
+    EXPECT_EQ(d.distance_m, 6.0 + d.error_m);
+  }
+  const double fail_rate = 1.0 - static_cast<double>(ok) / n;
+  EXPECT_NEAR(fail_rate, 0.1, 0.03);
+  EXPECT_NEAR(sum / ok, 1.0, 0.05);
+
+  const net::SurrogateTable dead = synthetic_table(0.0, 0.1, 1.0);
+  base::Rng rng2(43);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(dead.draw(6.0, 8e-19, 0.0, rng2).ok);
+}
+
+TEST(Surrogate, ConstructorRejectsBadAxes) {
+  EXPECT_THROW(net::SurrogateTable({}, {1e-19}, {0.0}, 4.8, 1, 4),
+               std::invalid_argument);
+  EXPECT_THROW(net::SurrogateTable({5.0, 5.0}, {1e-19}, {0.0}, 4.8, 1, 4),
+               std::invalid_argument);
+  EXPECT_THROW(net::SurrogateTable({5.0}, {1e-19}, {0.0}, -1.0, 1, 4),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ calibration determinism
+
+TEST(Calibrate, BitIdenticalAcrossJobsAndMatchesSerial) {
+  const auto cal = tiny_calibration();
+  const auto fact = ideal_factory();
+  const base::ParallelRunner pool1(1);
+  const base::ParallelRunner pool8(8);
+  const auto serial = net::calibrate_surrogate(cal, fact, nullptr);
+  const auto j1 = net::calibrate_surrogate(cal, fact, &pool1);
+  const auto j8 = net::calibrate_surrogate(cal, fact, &pool8);
+  EXPECT_TRUE(serial == j1);
+  EXPECT_TRUE(serial == j8);
+  EXPECT_EQ(j1.to_json(), j8.to_json());  // artifact is byte-identical too
+}
+
+// ------------------------------------- surrogate vs full physics (held out)
+
+TEST(Calibrate, HeldOutValidationAgreesWithFullPhysics) {
+  // Two ranges, one cell row each: enough statistics to check the bias CI
+  // and the rate bounds while staying affordable (~30 full exchanges).
+  net::CalibrationConfig cal;
+  cal.twr.sys.dt = 0.2e-9;
+  cal.ranges_m = {5.0, 9.0};
+  cal.noise_psd = {8e-19};
+  cal.dppm = {0.0};
+  cal.samples_per_cell = 10;
+  cal.seed = 21;
+  const auto fact = ideal_factory();
+  const base::ParallelRunner pool(8);
+
+  const auto table = net::calibrate_surrogate(cal, fact, &pool);
+  const auto report = net::validate_surrogate(table, cal, 6, fact, &pool);
+
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_GE(report.checked, 1);
+  // The held-out seeds are disjoint from calibration, so agreement here is
+  // a genuine statistical match, not seed reuse.
+  EXPECT_EQ(report.passed, report.checked) << "surrogate drifted from the "
+                                              "full-physics engine";
+  for (const auto& v : report.cells) {
+    if (!v.checked) continue;
+    EXPECT_LE(v.bias_delta_m, v.bias_bound_m);
+  }
+  // The fitted cells must capture the leading-edge latch physics: the CM1
+  // energy detector latches late, never early, so the inlier bias of a
+  // mostly-acquiring cell cannot be meaningfully negative.
+  for (const auto& c : table.cells()) {
+    if (c.ok - c.outliers < 4) continue;
+    EXPECT_GT(c.bias_m, -0.5);
+  }
+  // Validation must also be deterministic across worker counts.
+  const auto report_j1 = net::validate_surrogate(table, cal, 6, fact, nullptr);
+  ASSERT_EQ(report_j1.cells.size(), report.cells.size());
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    EXPECT_EQ(report_j1.cells[i].held_bias_m, report.cells[i].held_bias_m);
+    EXPECT_EQ(report_j1.cells[i].ok, report.cells[i].ok);
+  }
+}
+
+// ---------------------------------------------------------------- mobility
+
+TEST(Mobility, StaysInsideAreaAndIsDeterministic) {
+  const net::MobilityConfig cfg{net::MobilityKind::kWaypoint, 2.0, 30.0};
+  net::MobilityModel a(cfg, 8, 99);
+  net::MobilityModel b(cfg, 8, 99);
+  std::vector<double> xa(8, 15.0), ya(8, 15.0), xb(8, 15.0), yb(8, 15.0);
+  for (int step = 0; step < 50; ++step) {
+    for (std::size_t t = 0; t < 8; ++t) {
+      a.advance(t, 1.0, &xa[t], &ya[t]);
+      b.advance(t, 1.0, &xb[t], &yb[t]);
+      EXPECT_GE(xa[t], 0.0);
+      EXPECT_LE(xa[t], 30.0);
+      EXPECT_GE(ya[t], 0.0);
+      EXPECT_LE(ya[t], 30.0);
+      EXPECT_EQ(xa[t], xb[t]);
+      EXPECT_EQ(ya[t], yb[t]);
+    }
+  }
+  // Tags actually move.
+  EXPECT_NE(xa[0], 15.0);
+
+  // Velocity model: specular bounce keeps tags inside too.
+  const net::MobilityConfig vcfg{net::MobilityKind::kVelocity, 3.0, 20.0};
+  net::MobilityModel v(vcfg, 4, 7);
+  std::vector<double> x(4, 10.0), y(4, 10.0);
+  for (int step = 0; step < 40; ++step)
+    for (std::size_t t = 0; t < 4; ++t) {
+      v.advance(t, 1.0, &x[t], &y[t]);
+      EXPECT_GE(x[t], 0.0);
+      EXPECT_LE(x[t], 20.0);
+      EXPECT_GE(y[t], 0.0);
+      EXPECT_LE(y[t], 20.0);
+    }
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(Engine, ValidatesConfig) {
+  const auto table = synthetic_table(0.0, 0.1);
+  net::NetScaleConfig cfg;
+  cfg.anchor_grid = 1;
+  EXPECT_THROW(net::NetScaleEngine(cfg, table), std::invalid_argument);
+  cfg = {};
+  cfg.tag_count = 0;
+  EXPECT_THROW(net::NetScaleEngine(cfg, table), std::invalid_argument);
+  cfg = {};
+  cfg.max_links_per_tag = 2;
+  EXPECT_THROW(net::NetScaleEngine(cfg, table), std::invalid_argument);
+  cfg = {};
+  cfg.rounds = 0;
+  EXPECT_THROW(net::NetScaleEngine(cfg, table), std::invalid_argument);
+  EXPECT_THROW(net::NetScaleEngine({}, net::SurrogateTable{}),
+               std::invalid_argument);
+}
+
+namespace {
+
+net::NetScaleConfig engine_config() {
+  net::NetScaleConfig cfg;
+  cfg.seed = 5;
+  cfg.area_m = 40.0;
+  cfg.anchor_grid = 6;
+  cfg.tag_count = 50;
+  cfg.rounds = 3;
+  cfg.ppm_spread = 20.0;
+  return cfg;
+}
+
+void expect_results_equal(const net::NetScaleResult& a,
+                          const net::NetScaleResult& b) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  ASSERT_EQ(a.tag_rounds.size(), b.tag_rounds.size());
+  EXPECT_EQ(a.overall_rmse_m, b.overall_rmse_m);
+  EXPECT_EQ(a.overall_availability, b.overall_availability);
+  EXPECT_EQ(a.total_draws, b.total_draws);
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].rmse_m, b.rounds[r].rmse_m);
+    EXPECT_EQ(a.rounds[r].tags_solved, b.rounds[r].tags_solved);
+    EXPECT_EQ(a.rounds[r].anchors_dark, b.rounds[r].anchors_dark);
+    EXPECT_EQ(a.rounds[r].bias_est_m, b.rounds[r].bias_est_m);
+    ASSERT_EQ(a.tag_rounds[r].size(), b.tag_rounds[r].size());
+    for (std::size_t t = 0; t < a.tag_rounds[r].size(); ++t) {
+      const auto& x = a.tag_rounds[r][t];
+      const auto& y = b.tag_rounds[r][t];
+      EXPECT_EQ(x.true_x, y.true_x);
+      EXPECT_EQ(x.true_y, y.true_y);
+      EXPECT_EQ(x.est_x, y.est_x);
+      EXPECT_EQ(x.est_y, y.est_y);
+      EXPECT_EQ(x.err_m, y.err_m);
+      EXPECT_EQ(x.links, y.links);
+      EXPECT_EQ(x.solved, y.solved);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Engine, BitIdenticalAcrossJobsAndReruns) {
+  const auto table = synthetic_table(0.7, 0.3, 0.05, 0.02);
+  // Exercise every stochastic subsystem: mobility, dropout, loss, outliers.
+  net::NetScaleConfig cfg = engine_config();
+  cfg.mobility = net::MobilityKind::kWaypoint;
+  cfg.packet_loss = 0.05;
+  cfg.anchor_dropout = 0.1;
+  cfg.dropout_rounds = 1;
+
+  const base::ParallelRunner pool1(1);
+  const base::ParallelRunner pool8(8);
+  net::NetScaleEngine e_serial(cfg, table);
+  net::NetScaleEngine e1(cfg, table);
+  net::NetScaleEngine e8(cfg, table);
+  net::NetScaleEngine e8b(cfg, table);
+  const auto r_serial = e_serial.run(nullptr);
+  const auto r1 = e1.run(&pool1);
+  const auto r8 = e8.run(&pool8);
+  const auto r8b = e8b.run(&pool8);
+  expect_results_equal(r_serial, r1);
+  expect_results_equal(r1, r8);
+  expect_results_equal(r8, r8b);  // re-run on a fresh engine
+}
+
+TEST(Engine, ExactTableLocalizesExactly) {
+  // Zero bias, zero spread, no failures: every draw returns the true
+  // distance, so every tag must localize to numerical precision.
+  const auto table = synthetic_table(0.0, 0.0);
+  net::NetScaleEngine eng(engine_config(), table);
+  const auto res = eng.run(nullptr);
+  EXPECT_EQ(res.overall_availability, 1.0);
+  EXPECT_LT(res.overall_rmse_m, 1e-6);
+}
+
+TEST(Engine, MultiExchangeMedianTightensTheFix) {
+  // Same network, 1 vs 3 exchanges per link: the link estimate becomes
+  // the median of 3 draws, shrinking the effective spread, so the
+  // network RMSE must drop and the draw bookkeeping must triple.
+  const auto table = synthetic_table(0.0, 0.8);
+  net::NetScaleConfig cfg = engine_config();
+  net::NetScaleEngine one(cfg, table);
+  const auto r1 = one.run(nullptr);
+  cfg.exchanges_per_link = 3;
+  net::NetScaleEngine three(cfg, table);
+  const auto r3 = three.run(nullptr);
+  EXPECT_EQ(r3.overall_availability, 1.0);
+  EXPECT_LT(r3.overall_rmse_m, r1.overall_rmse_m);
+  EXPECT_EQ(r3.total_draws, 3 * r1.total_draws);
+
+  cfg.exchanges_per_link = 0;
+  EXPECT_THROW(net::NetScaleEngine(cfg, table), std::invalid_argument);
+}
+
+TEST(Engine, PerLinkCellBiasIsCalibratedOut) {
+  // A large *calibrated* bias (it is in the table) with a small spread:
+  // every link subtracts its own cell's bias_m, so the network localizes
+  // accurately with no anchor-anchor help at all, and the residual
+  // common-bias estimate stays near zero.
+  const auto table = synthetic_table(1.2, 0.05);
+  net::NetScaleConfig cfg = engine_config();
+  cfg.bias_links_per_round = 0;
+  net::NetScaleEngine eng(cfg, table);
+  const auto res = eng.run(nullptr);
+  EXPECT_EQ(res.overall_availability, 1.0);
+  EXPECT_LT(res.overall_rmse_m, 0.4);
+  EXPECT_EQ(res.rounds.back().bias_est_m, 0.0);
+}
+
+TEST(Engine, AnchorBiasCalibrationRemovesUncalibratedBias) {
+  // A deployment bias the surrogate calibration never saw (uncal_bias_m
+  // models post-installation antenna/cable delay): the anchor-anchor
+  // residual calibration must estimate and subtract it, leaving a small
+  // RMSE. With it left in, every range is ~1.2 m long and the solve is
+  // off by far more than the spread.
+  const auto table = synthetic_table(0.3, 0.05);
+  net::NetScaleConfig cfg = engine_config();
+  cfg.uncal_bias_m = 1.2;
+  net::NetScaleEngine eng(cfg, table);
+  const auto res = eng.run(nullptr);
+  EXPECT_EQ(res.overall_availability, 1.0);
+  EXPECT_LT(res.overall_rmse_m, 0.4);
+  // The per-round estimate converges on the injected deployment bias.
+  EXPECT_NEAR(res.rounds.back().bias_est_m, 1.2, 0.1);
+
+  // Same network with the residual calibration disabled: visibly worse.
+  net::NetScaleConfig no_cal = cfg;
+  no_cal.bias_links_per_round = 0;
+  net::NetScaleEngine eng2(no_cal, table);
+  const auto res2 = eng2.run(nullptr);
+  EXPECT_GT(res2.overall_rmse_m, res.overall_rmse_m);
+  EXPECT_GT(res2.overall_rmse_m, 0.8);
+}
+
+TEST(Engine, FullDropoutKillsAvailability) {
+  const auto table = synthetic_table(0.0, 0.1);
+  net::NetScaleConfig cfg = engine_config();
+  cfg.anchor_dropout = 1.0;
+  cfg.dropout_rounds = 100;  // never recover within the run
+  net::NetScaleEngine eng(cfg, table);
+  const auto res = eng.run(nullptr);
+  EXPECT_EQ(res.overall_availability, 0.0);
+  for (const auto& st : res.rounds)
+    EXPECT_EQ(st.anchors_dark, 36);  // every 6x6 grid anchor dark
+}
+
+TEST(Engine, DropoutRecoveryRestoresAnchors) {
+  const auto table = synthetic_table(0.0, 0.1);
+  net::NetScaleConfig cfg = engine_config();
+  cfg.rounds = 6;
+  cfg.anchor_dropout = 0.5;
+  cfg.dropout_rounds = 1;  // drop for one round, recover the next
+  net::NetScaleEngine eng(cfg, table);
+  const auto res = eng.run(nullptr);
+  // With recovery every round, the network never collapses entirely.
+  int max_dark = 0;
+  for (const auto& st : res.rounds) max_dark = std::max(max_dark, st.anchors_dark);
+  EXPECT_GT(max_dark, 0);               // faults fired
+  EXPECT_LT(max_dark, 36);              // but recovery kept anchors cycling
+  EXPECT_GT(res.overall_availability, 0.3);
+}
+
+TEST(Engine, OutlierDrawsAreTrimmedByTheSolver) {
+  // 15% wrong-slot outliers at ~9.6 m: the solver's robust re-solve must
+  // keep the RMSE near the inlier spread, far below the outlier scale.
+  const auto table = synthetic_table(0.3, 0.2, 0.0, 0.15);
+  net::NetScaleEngine eng(engine_config(), table);
+  const auto res = eng.run(nullptr);
+  EXPECT_GT(res.overall_availability, 0.95);
+  EXPECT_LT(res.overall_rmse_m, 1.5);
+}

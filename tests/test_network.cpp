@@ -315,6 +315,32 @@ TEST(RangingNetwork, MeasuresAndLocalizesASquareLayout) {
   EXPECT_LT(res.position_rmse, 2.0);
 }
 
+TEST(RangingNetwork, AllFailedPairsAreExplicitNotSentinel) {
+  // Regression: est_distance used to carry a -1.0 "failed" sentinel that a
+  // caller could silently feed to the solver as a negative distance. Links
+  // far outside the budget (~100 m) make every exchange fail to acquire;
+  // the run must finish, flag every pair via ok()/ok_exchanges, and leave
+  // est_distance at its inert default instead of a magic value.
+  auto cfg = fast_network(4);
+  cfg.positions = {{0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}, {100.0, 100.0}};
+  uwb::RangingNetwork net(cfg, network_factory(cfg));
+  const auto res = net.run();
+  ASSERT_EQ(res.pairs.size(), 6u);
+  EXPECT_EQ(res.failed_pairs, 6);
+  for (const auto& m : res.pairs) {
+    EXPECT_FALSE(m.ok());
+    EXPECT_EQ(m.ok_exchanges, 0);
+    EXPECT_EQ(m.failures, m.exchanges);
+    EXPECT_EQ(m.est_distance, 0.0);  // untouched default, not -1
+  }
+  // With zero usable observations the solver still returns a well-formed
+  // layout (anchors pinned; the unknown stays at its trilateration-free
+  // init) and the aggregate metrics stay finite.
+  ASSERT_EQ(res.solved.size(), 4u);
+  EXPECT_TRUE(std::isfinite(res.position_rmse));
+  EXPECT_EQ(res.distance_rmse, 0.0);
+}
+
 // ------------------------------------------------------------ position solver
 
 TEST(PositionSolver, RecoversExactGeometryFromExactDistances) {

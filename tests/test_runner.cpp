@@ -16,6 +16,7 @@
 
 #include "base/random.hpp"
 #include "core/block_variant.hpp"
+#include "runner/cli.hpp"
 #include "runner/runner.hpp"
 #include "uwb/ber.hpp"
 
@@ -55,9 +56,44 @@ TEST(Registry, UnknownNameIsNull) {
 
 TEST(Registry, DuplicateNameThrows) {
   EXPECT_THROW(ScenarioRegistry::instance().add(
-                   {"runner_test_probe", "test", "dup"},
+                   {"runner_test_probe", "test", "dup", ""},
                    [](RunContext&) { return 0; }),
                std::logic_error);
+}
+
+// --- scale-tier annotations ----------------------------------------------
+
+REGISTER_SCENARIO_TIERS(runner_test_tiers_probe, "test",
+                        "tier annotation probe", "1|10|100 widgets") {
+  (void)ctx;
+  return 0;
+}
+
+TEST(Registry, TiersAnnotationIsStoredAndListed) {
+  const auto* s =
+      ScenarioRegistry::instance().find("runner_test_tiers_probe");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->info.tiers, "1|10|100 widgets");
+  EXPECT_EQ(runner::scales_label(s->info), "1|10|100 widgets");
+
+  // Plain REGISTER_SCENARIO leaves tiers empty and --list falls back to
+  // the generic tier names.
+  const auto* plain = ScenarioRegistry::instance().find("runner_test_probe");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_TRUE(plain->info.tiers.empty());
+  EXPECT_EQ(runner::scales_label(plain->info), "fast|default|full");
+}
+
+TEST(Registry, ShippedScenariosAnnotateTheirTiers) {
+  // The satellite contract: the headline scenarios spell out what --scale
+  // changes. (Not every scenario must, but these ship annotated.)
+  for (const char* name :
+       {"ranging_network", "fig6_ber", "yield_report", "surrogate_fit",
+        "netscale_static", "netscale_mobility"}) {
+    const auto* s = ScenarioRegistry::instance().find(name);
+    if (s == nullptr) continue;  // registry content depends on link set
+    EXPECT_FALSE(s->info.tiers.empty()) << name;
+  }
 }
 
 TEST(Registry, ListSortsAndFilters) {
