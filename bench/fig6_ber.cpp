@@ -14,11 +14,13 @@
 // sweep is bit-identical to the serial one for any --jobs value.
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "base/table.hpp"
 #include "core/block_variant.hpp"
+#include "core/equiv.hpp"
 #include "runner/runner.hpp"
 #include "uwb/ber.hpp"
 
@@ -55,8 +57,12 @@ REGISTER_SCENARIO_TIERS(fig6_ber, "bench",
             ctx.scale != runner::Scale::kFull)
           c.max_bits = std::min<std::uint64_t>(c.max_bits, 6000);
         c.ebn0_db = {pt.at("ebn0_db")};
-        return uwb::run_ber_sweep(c,
-                                  core::make_integrator_factory(kind, c.sys))[0];
+        // ctx.variant() maps the declared exactness tier to the engine
+        // profile: bit_exact keeps the defaults (CSVs byte-identical to
+        // every prior PR), stat_equiv enables the optimized engine whose
+        // results the golden-stats gate checks statistically.
+        return uwb::run_ber_sweep(
+            c, core::make_integrator_factory(kind, c.sys, ctx.variant()))[0];
       });
 
   std::vector<std::vector<uwb::BerPoint>> curves(kinds.size());
@@ -98,6 +104,22 @@ REGISTER_SCENARIO_TIERS(fig6_ber, "bench",
   ctx.sink.metric("tw_product", tw);
   ctx.sink.metric("ideal_total_errors", ideal_errors);
   ctx.sink.metric("eldo_total_errors", eldo_errors);
+
+  // Golden-stats artifact: one Wilson-CI check per (integrator, Eb/N0)
+  // point plus the analytic T*W scalar — what `--golden` and the CI
+  // stat_equiv gate compare runs against.
+  core::StatArtifact stats(ctx.scenario_name,
+                           runner::to_string(ctx.scale));
+  const char* curve_names[] = {"ideal", "eldo"};
+  for (std::size_t k = 0; k < kinds.size(); ++k)
+    for (const auto& p : curves[k]) {
+      char name[64];
+      std::snprintf(name, sizeof name, "ber:%s@%gdB", curve_names[k],
+                    p.ebn0_db);
+      stats.add_ber(name, p.errors, p.bits);
+    }
+  stats.add_scalar("tw_product", tw, 1e-9);
+  ctx.sink.golden_stats(stats.to_json());
 
   ctx.sink.note(
       "\nShape check (paper Fig. 6): both detectors waterfall together; at\n"

@@ -27,6 +27,7 @@
 
 #include "base/table.hpp"
 #include "core/block_variant.hpp"
+#include "core/equiv.hpp"
 #include "net/calibrate.hpp"
 #include "net/engine.hpp"
 #include "net/surrogate.hpp"
@@ -245,7 +246,10 @@ REGISTER_SCENARIO_TIERS(surrogate_fit, "netscale",
     ctx.sink.note("FAIL: no cell had enough samples to validate");
     return 1;
   }
-  if (10 * report.passed < 9 * report.checked) {
+  if (!core::accept::fraction_at_least(
+          static_cast<std::uint64_t>(report.passed),
+          static_cast<std::uint64_t>(report.checked),
+          core::accept::kSurrogateMinCellPassFraction)) {
     ctx.sink.note("FAIL: held-out validation rejected more than 10% of the "
                   "checked surrogate cells");
     return 1;
@@ -293,8 +297,10 @@ REGISTER_SCENARIO_TIERS(netscale_static, "netscale",
   // per-cell bias calibration and multi-exchange links the network sat
   // above 2 m). The fast (smoke) tier calibrates from fewer samples per
   // cell, so its per-cell estimates are noisier and its bound looser.
-  const double rmse_gate = ctx.pick(2.0, 1.75, 1.75);
-  if (res.overall_availability < 0.95) {
+  const double rmse_gate = ctx.pick(core::accept::kNetscaleRmseGateFastM,
+                                    core::accept::kNetscaleRmseGateM,
+                                    core::accept::kNetscaleRmseGateM);
+  if (res.overall_availability < core::accept::kNetscaleMinAvailability) {
     ctx.sink.note("FAIL: availability below 0.95 with no fault injection");
     return 1;
   }
@@ -351,11 +357,12 @@ REGISTER_SCENARIO_TIERS(netscale_mobility, "netscale",
     ctx.sink.note("FAIL: anchor-dropout fault injection never fired");
     return 1;
   }
-  if (res.overall_availability < 0.80) {
+  if (res.overall_availability <
+      core::accept::kNetscaleMinAvailabilityFaulted) {
     ctx.sink.note("FAIL: availability below 0.80 under fault injection");
     return 1;
   }
-  if (res.overall_rmse_m > 2.5) {
+  if (res.overall_rmse_m > core::accept::kNetscaleRmseGateFaultedM) {
     ctx.sink.note("FAIL: position RMSE above 2.5 m under fault injection");
     return 1;
   }

@@ -1,10 +1,10 @@
-#include "net/json.hpp"
+#include "base/json.hpp"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 
-namespace uwbams::net {
+namespace uwbams::base {
 
 namespace {
 
@@ -348,4 +348,4 @@ JsonValue parse_json(const std::string& text) {
   return Parser(text).parse_document();
 }
 
-}  // namespace uwbams::net
+}  // namespace uwbams::base

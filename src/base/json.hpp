@@ -1,5 +1,5 @@
 /// @file json.hpp
-/// @brief Minimal JSON value model + parser for the net/ artifact formats.
+/// @brief Minimal JSON value model + parser for the artifact formats (surrogate tables, golden stats).
 ///
 /// The PHY surrogate table (surrogate.hpp) is a *cached calibration
 /// artifact*: one run fits it from the full-physics TWR engine, later runs
@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-namespace uwbams::net {
+namespace uwbams::base {
 
 class JsonValue;
 
@@ -84,4 +84,4 @@ class JsonValue {
 /// garbage rejected). Throws JsonError with an offset-annotated message.
 JsonValue parse_json(const std::string& text);
 
-}  // namespace uwbams::net
+}  // namespace uwbams::base

@@ -58,6 +58,44 @@ double BerCounter::half_width_95() const {
   return half;
 }
 
+Interval wilson_interval_95(std::uint64_t successes, std::uint64_t trials) {
+  if (trials == 0) return {0.0, 1.0};
+  const double z = 1.96;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double denom = 1.0 + z * z / n;
+  const double center = (p + z * z / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+double ks_threshold(std::size_t n, std::size_t m, double alpha) {
+  if (n == 0 || m == 0) return 0.0;
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  return c * std::sqrt((nn + mm) / (nn * mm));
+}
+
 double mean_of(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;

@@ -85,4 +85,29 @@ struct LineFit {
 };
 LineFit fit_line(std::span<const double> x, std::span<const double> y);
 
+// Closed interval [lo, hi] on the real line.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+};
+
+// Wilson score interval at ~95% confidence for a binomial proportion with
+// `successes` out of `trials`. The same interval BerCounter::half_width_95
+// is centered on; exposed standalone so equivalence checks can compare two
+// BER measurements by CI overlap. trials == 0 returns the vacuous [0, 1].
+Interval wilson_interval_95(std::uint64_t successes, std::uint64_t trials);
+
+// Two-sample Kolmogorov–Smirnov statistic: sup |F_a(x) - F_b(x)| over the
+// empirical CDFs. Either sample empty returns 1.0 (maximally distinct).
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+// Rejection threshold for the two-sample KS test at significance `alpha`
+// (asymptotic form): c(alpha) * sqrt((n + m) / (n * m)) with
+// c(alpha) = sqrt(-ln(alpha / 2) / 2). Samples are "statistically
+// equivalent" at level alpha when ks_statistic <= ks_threshold.
+double ks_threshold(std::size_t n, std::size_t m, double alpha);
+
 }  // namespace uwbams::base

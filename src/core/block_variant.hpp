@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "core/equiv.hpp"
 #include "spice/itd_builder.hpp"
 #include "spice/transient.hpp"
 #include "uwb/config.hpp"
@@ -46,5 +47,16 @@ struct VariantOptions {
 uwb::IntegratorFactory make_integrator_factory(IntegratorKind kind,
                                                const uwb::SystemConfig& sys,
                                                VariantOptions options = {});
+
+/// Engine configuration for a declared exactness tier: `bit_exact` returns
+/// the defaults (byte-compatible with every earlier PR), `stat_equiv`
+/// returns the optimized profile (spice::apply_stat_equiv_profile) whose
+/// results are gated by golden-stats equivalence instead of byte compares.
+inline VariantOptions variant_for_tier(ExactnessTier tier) {
+  VariantOptions vo;
+  if (tier == ExactnessTier::kStatEquiv)
+    spice::apply_stat_equiv_profile(&vo.transient);
+  return vo;
+}
 
 }  // namespace uwbams::core

@@ -113,7 +113,11 @@ ItdCharacterization characterize_itd(const spice::ItdSizing& sizing,
     throw std::runtime_error("characterize_itd: OP did not converge");
   const auto freqs = spice::log_frequency_grid(
       options.f_start, options.f_stop, options.points_per_decade);
-  ch.sweep = spice::run_ac(ckt, op.x, freqs, tb.t.out_intp, tb.t.out_intm);
+  spice::AcOptions aco;
+  aco.reuse_factorization = options.reuse_ac_factorization;
+  aco.workspace = options.ac_workspace;
+  ch.sweep =
+      spice::run_ac(ckt, op.x, freqs, tb.t.out_intp, tb.t.out_intm, aco);
 
   std::vector<double> f, m;
   for (std::size_t i = 0; i < ch.sweep.points.size(); ++i) {
@@ -136,7 +140,7 @@ ItdCharacterization characterize_itd(const spice::ItdSizing& sizing,
   auto integrated = [&sizing, &options](double vin_diff) {
     spice::Circuit c2;
     const auto tb2 = spice::build_itd_testbench(c2, sizing);
-    spice::TransientOptions topts;
+    spice::TransientOptions topts = options.transient;
     topts.dt = options.dt;
     spice::TransientSession sim(c2, topts);
     sim.source("vctrlp").set_override(sizing.vdd);

@@ -17,6 +17,7 @@
 
 #include "spice/ac.hpp"
 #include "spice/itd_builder.hpp"
+#include "spice/transient.hpp"
 #include "uwb/integrator.hpp"
 
 namespace uwbams::core {
@@ -55,6 +56,17 @@ struct CharacterizeOptions {
   double dt = 0.2e-9;            ///< transient step of the DC-range/slew runs
   bool measure_linear_range = true;  ///< ~12 transient integrations
   bool measure_slew = true;          ///< 1 transient integration
+  /// Engine profile of the DC-range/slew transient runs (`dt` above still
+  /// wins). Defaults keep the historical bit-exact behavior; stat_equiv
+  /// callers pass spice::apply_stat_equiv_profile-configured options.
+  spice::TransientOptions transient;
+  /// AC pivot-order reuse across the frequency grid (spice::AcOptions::
+  /// reuse_factorization). Different elimination rounding — stat_equiv only.
+  bool reuse_ac_factorization = false;
+  /// Optional cross-call AC workspace (spice::AcOptions::workspace): lets a
+  /// Monte-Carlo block reuse one pivot order across its trials. The caller
+  /// owns lifetime and thread confinement.
+  linalg::LuFactor<std::complex<double>>* ac_workspace = nullptr;
 };
 
 /// Full characterization of the 31-transistor cell.

@@ -1,0 +1,295 @@
+#include "core/equiv.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "base/json.hpp"
+#include "base/stats.hpp"
+
+namespace uwbams::core {
+
+namespace {
+
+std::string fmt(const char* f, ...) __attribute__((format(printf, 1, 2)));
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+const char* kind_name(StatCheck::Kind k) {
+  switch (k) {
+    case StatCheck::Kind::kBer: return "ber";
+    case StatCheck::Kind::kScalar: return "scalar";
+    case StatCheck::Kind::kSample: return "sample";
+  }
+  return "?";
+}
+
+bool kind_from_name(const std::string& s, StatCheck::Kind* out) {
+  if (s == "ber") *out = StatCheck::Kind::kBer;
+  else if (s == "scalar") *out = StatCheck::Kind::kScalar;
+  else if (s == "sample") *out = StatCheck::Kind::kSample;
+  else return false;
+  return true;
+}
+
+CheckResult check_ber(const std::string& name, const StatCheck& g,
+                      const StatCheck& c) {
+  const base::Interval gi = base::wilson_interval_95(g.errors, g.bits);
+  const base::Interval ci = base::wilson_interval_95(c.errors, c.bits);
+  CheckResult r;
+  r.name = name;
+  r.passed = gi.overlaps(ci);
+  r.detail = fmt(
+      "golden %llu/%llu CI [%.3g, %.3g] vs candidate %llu/%llu CI "
+      "[%.3g, %.3g]: %s",
+      static_cast<unsigned long long>(g.errors),
+      static_cast<unsigned long long>(g.bits), gi.lo, gi.hi,
+      static_cast<unsigned long long>(c.errors),
+      static_cast<unsigned long long>(c.bits), ci.lo, ci.hi,
+      r.passed ? "overlap" : "disjoint");
+  return r;
+}
+
+CheckResult check_scalar(const std::string& name, const StatCheck& g,
+                         const StatCheck& c) {
+  // Tolerances come from the golden side: the pinned file is the contract.
+  const double diff = std::abs(c.value - g.value);
+  const double tol =
+      g.abs_tol + g.rel_tol * std::max(std::abs(g.value), std::abs(c.value));
+  CheckResult r;
+  r.name = name;
+  r.passed = diff <= tol;
+  r.detail = fmt("golden %.6g vs candidate %.6g: |diff| %.3g %s tol %.3g",
+                 g.value, c.value, diff, r.passed ? "<=" : ">", tol);
+  return r;
+}
+
+CheckResult check_sample(const std::string& name, const StatCheck& g,
+                         const StatCheck& c) {
+  const double d = base::ks_statistic(g.values, c.values);
+  const double thresh =
+      base::ks_threshold(g.values.size(), c.values.size(), g.alpha);
+  CheckResult r;
+  r.name = name;
+  r.passed = d <= thresh;
+  r.detail = fmt("KS D %.4g %s threshold %.4g (n=%zu, m=%zu, alpha=%g)", d,
+                 r.passed ? "<=" : ">", thresh, g.values.size(),
+                 c.values.size(), g.alpha);
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(ExactnessTier tier) {
+  switch (tier) {
+    case ExactnessTier::kBitExact: return "bit_exact";
+    case ExactnessTier::kStatEquiv: return "stat_equiv";
+  }
+  return "?";
+}
+
+bool parse_exactness_tier(const std::string& text, ExactnessTier* out) {
+  std::string t;
+  for (char ch : text) t.push_back(static_cast<char>(std::tolower(ch)));
+  if (t == "bit_exact") *out = ExactnessTier::kBitExact;
+  else if (t == "stat_equiv") *out = ExactnessTier::kStatEquiv;
+  else return false;
+  return true;
+}
+
+void StatArtifact::add_ber(const std::string& name, std::uint64_t errors,
+                          std::uint64_t bits) {
+  StatCheck c;
+  c.kind = StatCheck::Kind::kBer;
+  c.errors = errors;
+  c.bits = bits;
+  checks_[name] = std::move(c);
+}
+
+void StatArtifact::add_scalar(const std::string& name, double value,
+                              double rel_tol, double abs_tol) {
+  StatCheck c;
+  c.kind = StatCheck::Kind::kScalar;
+  c.value = value;
+  c.rel_tol = rel_tol;
+  c.abs_tol = abs_tol;
+  checks_[name] = std::move(c);
+}
+
+void StatArtifact::add_sample(const std::string& name,
+                              std::vector<double> values, double alpha) {
+  StatCheck c;
+  c.kind = StatCheck::Kind::kSample;
+  c.values = std::move(values);
+  c.alpha = alpha;
+  checks_[name] = std::move(c);
+}
+
+std::string StatArtifact::to_json() const {
+  base::JsonObject root;
+  root["schema"] = base::JsonValue(kSchema);
+  root["scenario"] = base::JsonValue(scenario_);
+  root["scale"] = base::JsonValue(scale_);
+  base::JsonObject checks;
+  for (const auto& [name, c] : checks_) {
+    base::JsonObject o;
+    o["kind"] = base::JsonValue(kind_name(c.kind));
+    switch (c.kind) {
+      case StatCheck::Kind::kBer:
+        o["bits"] = base::JsonValue(static_cast<double>(c.bits));
+        o["errors"] = base::JsonValue(static_cast<double>(c.errors));
+        break;
+      case StatCheck::Kind::kScalar:
+        o["value"] = base::JsonValue(c.value);
+        o["rel_tol"] = base::JsonValue(c.rel_tol);
+        o["abs_tol"] = base::JsonValue(c.abs_tol);
+        break;
+      case StatCheck::Kind::kSample: {
+        o["alpha"] = base::JsonValue(c.alpha);
+        base::JsonArray vals;
+        for (double v : c.values) vals.emplace_back(v);
+        o["values"] = base::JsonValue(std::move(vals));
+        break;
+      }
+    }
+    checks[name] = base::JsonValue(std::move(o));
+  }
+  root["checks"] = base::JsonValue(std::move(checks));
+  return base::JsonValue(std::move(root)).dump(2) + "\n";
+}
+
+StatArtifact StatArtifact::from_json(const std::string& text) {
+  const base::JsonValue root = base::parse_json(text);
+  const std::string schema = root.at("schema").as_string();
+  if (schema != kSchema)
+    throw base::JsonError("golden stats: unsupported schema '" + schema +
+                          "' (want " + std::string(kSchema) + ")");
+  StatArtifact art(root.at("scenario").as_string(),
+                   root.at("scale").as_string());
+  for (const auto& [name, v] : root.at("checks").as_object()) {
+    StatCheck c;
+    if (!kind_from_name(v.at("kind").as_string(), &c.kind))
+      throw base::JsonError("golden stats: check '" + name +
+                            "' has unknown kind '" + v.at("kind").as_string() +
+                            "'");
+    switch (c.kind) {
+      case StatCheck::Kind::kBer:
+        c.bits = static_cast<std::uint64_t>(v.at("bits").as_number());
+        c.errors = static_cast<std::uint64_t>(v.at("errors").as_number());
+        break;
+      case StatCheck::Kind::kScalar:
+        c.value = v.at("value").as_number();
+        c.rel_tol = v.at("rel_tol").as_number();
+        c.abs_tol = v.at("abs_tol").as_number();
+        break;
+      case StatCheck::Kind::kSample:
+        c.alpha = v.at("alpha").as_number();
+        for (const auto& e : v.at("values").as_array())
+          c.values.push_back(e.as_number());
+        break;
+    }
+    art.checks_[name] = std::move(c);
+  }
+  return art;
+}
+
+std::string EquivReport::to_json() const {
+  base::JsonObject root;
+  root["schema"] = base::JsonValue("uwbams-equiv-report-v1");
+  root["passed"] = base::JsonValue(passed);
+  root["golden_scenario"] = base::JsonValue(golden_scenario);
+  root["candidate_scenario"] = base::JsonValue(candidate_scenario);
+  base::JsonArray arr;
+  for (const auto& c : checks) {
+    base::JsonObject o;
+    o["name"] = base::JsonValue(c.name);
+    o["passed"] = base::JsonValue(c.passed);
+    o["detail"] = base::JsonValue(c.detail);
+    arr.emplace_back(std::move(o));
+  }
+  root["checks"] = base::JsonValue(std::move(arr));
+  return base::JsonValue(std::move(root)).dump(2) + "\n";
+}
+
+std::string EquivReport::to_text() const {
+  std::string out;
+  std::size_t npass = 0;
+  for (const auto& c : checks) {
+    out += fmt("  [%s] %s: %s\n", c.passed ? "pass" : "FAIL", c.name.c_str(),
+               c.detail.c_str());
+    if (c.passed) ++npass;
+  }
+  out += fmt("equivalence %s: %zu/%zu checks passed\n",
+             passed ? "OK" : "FAILED", npass, checks.size());
+  return out;
+}
+
+EquivReport compare_stats(const StatArtifact& golden,
+                          const StatArtifact& candidate) {
+  EquivReport rep;
+  rep.golden_scenario = golden.scenario();
+  rep.candidate_scenario = candidate.scenario();
+
+  if (golden.scenario() != candidate.scenario()) {
+    rep.checks.push_back(
+        {"scenario", false,
+         fmt("golden is for '%s' but candidate is for '%s'",
+             golden.scenario().c_str(), candidate.scenario().c_str())});
+  }
+
+  // Merge-iterate the two sorted check maps so missing entries on either
+  // side surface by name.
+  auto gi = golden.checks().begin();
+  auto ci = candidate.checks().begin();
+  const auto ge = golden.checks().end();
+  const auto ce = candidate.checks().end();
+  while (gi != ge || ci != ce) {
+    if (ci == ce || (gi != ge && gi->first < ci->first)) {
+      rep.checks.push_back(
+          {gi->first, false, "present in golden but missing from candidate"});
+      ++gi;
+      continue;
+    }
+    if (gi == ge || ci->first < gi->first) {
+      rep.checks.push_back(
+          {ci->first, false, "present in candidate but not in golden"});
+      ++ci;
+      continue;
+    }
+    const auto& name = gi->first;
+    const StatCheck& g = gi->second;
+    const StatCheck& c = ci->second;
+    if (g.kind != c.kind) {
+      rep.checks.push_back({name, false,
+                            fmt("kind mismatch: golden %s vs candidate %s",
+                                kind_name(g.kind), kind_name(c.kind))});
+    } else {
+      switch (g.kind) {
+        case StatCheck::Kind::kBer:
+          rep.checks.push_back(check_ber(name, g, c));
+          break;
+        case StatCheck::Kind::kScalar:
+          rep.checks.push_back(check_scalar(name, g, c));
+          break;
+        case StatCheck::Kind::kSample:
+          rep.checks.push_back(check_sample(name, g, c));
+          break;
+      }
+    }
+    ++gi;
+    ++ci;
+  }
+
+  rep.passed = !rep.checks.empty();
+  for (const auto& c : rep.checks) rep.passed = rep.passed && c.passed;
+  return rep;
+}
+
+}  // namespace uwbams::core

@@ -1,6 +1,8 @@
 #include "core/montecarlo.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <complex>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -175,11 +177,37 @@ McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
   // Report the criteria as judged (skipped measurements relax them), never
   // the caller's unrelaxed thresholds.
   result.criteria = effective_criteria(config, criteria);
-  result.trials = pool.map<McTrial>(
-      static_cast<std::size_t>(config.trials),
-      [&](std::size_t i) {
-        return run_mc_trial(config, static_cast<int>(i), criteria);
-      });
+  if (config.characterize.reuse_ac_factorization) {
+    // Cross-trial vectorization (stat_equiv): trials fan in fixed-size
+    // blocks and each block owns one AC workspace, so the complex pivot
+    // order carries across that block's structurally identical sweeps.
+    // The fixed block size is part of the determinism contract — the
+    // workspace history trial i sees depends only on i's position within
+    // its block, never on --jobs or execution order.
+    constexpr std::size_t kBlock = 8;
+    const auto nt = static_cast<std::size_t>(config.trials);
+    const std::size_t nblocks = (nt + kBlock - 1) / kBlock;
+    const auto blocks = pool.map<std::vector<McTrial>>(
+        nblocks, [&](std::size_t b) {
+          linalg::LuFactor<std::complex<double>> workspace;
+          McConfig block_cfg = config;
+          block_cfg.characterize.ac_workspace = &workspace;
+          std::vector<McTrial> out;
+          const std::size_t hi = std::min(nt, (b + 1) * kBlock);
+          for (std::size_t i = b * kBlock; i < hi; ++i)
+            out.push_back(
+                run_mc_trial(block_cfg, static_cast<int>(i), criteria));
+          return out;
+        });
+    for (const auto& block : blocks)
+      result.trials.insert(result.trials.end(), block.begin(), block.end());
+  } else {
+    result.trials = pool.map<McTrial>(
+        static_cast<std::size_t>(config.trials),
+        [&](std::size_t i) {
+          return run_mc_trial(config, static_cast<int>(i), criteria);
+        });
+  }
 
   McSummary& s = result.summary;
   s.trials = static_cast<int>(result.trials.size());

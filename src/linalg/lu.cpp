@@ -39,6 +39,7 @@ void LuFactor<T>::factor(const Matrix<T>& a, const SparsityPattern* pattern) {
   }
   factorize_loaded();
   if (pattern != nullptr && pattern->size() == n) build_symbolic(*pattern);
+  if (packed_solve_ && has_symbolic_) pack_values();
 }
 
 // Eliminates the matrix already loaded into lu_ with full partial pivoting.
@@ -47,6 +48,7 @@ void LuFactor<T>::factorize_loaded() {
   const std::size_t n = lu_.rows();
   valid_ = false;
   has_symbolic_ = false;
+  packed_valid_ = false;
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
@@ -149,6 +151,7 @@ void LuFactor<T>::load_permuted(const Matrix<T>& a) {
 template <typename T>
 bool LuFactor<T>::refactor(const Matrix<T>& a) {
   const std::size_t n = lu_.rows();
+  packed_valid_ = false;
   if (n == 0 || perm_.size() != n || a.rows() != n || a.cols() != n) {
     valid_ = false;
     return false;
@@ -214,7 +217,26 @@ bool LuFactor<T>::refactor(const Matrix<T>& a) {
   dinv_.resize(n);
   for (std::size_t k = 0; k < n; ++k) dinv_[k] = T{1} / lu_(k, k);
   valid_ = true;
+  if (packed_solve_ && has_symbolic_) pack_values();
   return true;
+}
+
+// Copies the L/U nonzeros into contiguous arrays aligned index-for-index
+// with lower_cols_/elim_cols_, so the packed solve streams values instead
+// of gathering lu_(r, c) through the row stride.
+template <typename T>
+void LuFactor<T>::pack_values() {
+  const std::size_t n = lu_.rows();
+  lower_vals_.resize(lower_cols_.size());
+  upper_vals_.resize(elim_cols_.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    const T* row = lu_.row_ptr(r);
+    for (std::uint32_t i = lower_cols_off_[r]; i < lower_cols_off_[r + 1]; ++i)
+      lower_vals_[i] = row[lower_cols_[i]];
+    for (std::uint32_t i = elim_cols_off_[r]; i < elim_cols_off_[r + 1]; ++i)
+      upper_vals_[i] = row[elim_cols_[i]];
+  }
+  packed_valid_ = true;
 }
 
 template <typename T>
@@ -224,7 +246,28 @@ void LuFactor<T>::solve_in_place(std::vector<T>& bx) const {
   if (bx.size() != n) throw std::invalid_argument("LuFactor::solve size");
   scratch_.resize(n);
   // Apply permutation, forward substitution (L has unit diagonal).
-  if (has_symbolic_) {
+  if (packed_valid_) {
+    // Same traversal and accumulation order as the symbolic branch below,
+    // reading packed value arrays sequentially instead of strided rows.
+    const T* lv = lower_vals_.data();
+    for (std::size_t r = 0; r < n; ++r) {
+      T acc = bx[perm_[r]];
+      const std::uint32_t* pc = lower_cols_.data() + lower_cols_off_[r];
+      const std::uint32_t* pc_end = lower_cols_.data() + lower_cols_off_[r + 1];
+      const T* pv = lv + lower_cols_off_[r];
+      for (; pc != pc_end; ++pc, ++pv) acc -= *pv * scratch_[*pc];
+      scratch_[r] = acc;
+    }
+    const T* uv = upper_vals_.data();
+    for (std::size_t ri = n; ri-- > 0;) {
+      T acc = scratch_[ri];
+      const std::uint32_t* pc = elim_cols_.data() + elim_cols_off_[ri];
+      const std::uint32_t* pc_end = elim_cols_.data() + elim_cols_off_[ri + 1];
+      const T* pv = uv + elim_cols_off_[ri];
+      for (; pc != pc_end; ++pc, ++pv) acc -= *pv * scratch_[*pc];
+      scratch_[ri] = acc * dinv_[ri];
+    }
+  } else if (has_symbolic_) {
     for (std::size_t r = 0; r < n; ++r) {
       T acc = bx[perm_[r]];
       const T* row = lu_.row_ptr(r);

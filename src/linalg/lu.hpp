@@ -119,10 +119,24 @@ class LuFactor {
   /// Sets the relative pivot threshold (clamped to [0, 1]).
   void set_pivot_rel_tol(double tol);
 
+  /// Opt-in packed-value solve path: after each symbolic factor()/refactor()
+  /// the L and U nonzeros are copied into contiguous arrays aligned with the
+  /// symbolic column indices, and solve_in_place() streams them sequentially
+  /// instead of gathering from matrix rows. Accumulation order is unchanged,
+  /// but the extra packing pass only pays for itself when each factorization
+  /// serves several solves (the chord-iteration regime), so it is off by
+  /// default and enabled by the stat_equiv engine profile.
+  void set_packed_solve(bool on) {
+    packed_solve_ = on;
+    packed_valid_ = false;
+  }
+  bool packed_solve() const { return packed_solve_; }
+
  private:
   void factorize_loaded();
   void build_symbolic(const SparsityPattern& pattern);
   void load_permuted(const Matrix<T>& a);
+  void pack_values();
 
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
@@ -140,6 +154,13 @@ class LuFactor {
   std::vector<std::uint32_t> elim_cols_off_;    // per-k offsets into elim_cols_
   std::vector<std::uint32_t> lower_cols_;       // cols c<r nonzero in row r (L part)
   std::vector<std::uint32_t> lower_cols_off_;   // per-row offsets into lower_cols_
+
+  // Packed-value solve path (set_packed_solve): L and U nonzero values in
+  // lower_cols_/elim_cols_ order, refreshed per factorization.
+  bool packed_solve_ = false;
+  bool packed_valid_ = false;
+  std::vector<T> lower_vals_;
+  std::vector<T> upper_vals_;
 
   mutable std::vector<T> scratch_;  // permuted RHS for solve_in_place
 };

@@ -3,9 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "net/json.hpp"
+#include "base/json.hpp"
 
 namespace uwbams::net {
+
+using base::JsonArray;
+using base::JsonError;
+using base::JsonObject;
+using base::JsonValue;
+using base::parse_json;
 
 namespace {
 

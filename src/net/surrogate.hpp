@@ -21,7 +21,7 @@
 /// caller-provided Rng, so determinism is inherited from the caller's
 /// fixed-purpose seed derivation, not from draw order.
 ///
-/// The table serializes to JSON (net/json.hpp) with %.17g doubles and
+/// The table serializes to JSON (base/json.hpp) with %.17g doubles and
 /// sorted keys, so calibrate -> save -> load -> simulate is bit-identical
 /// to calibrate -> simulate: calibration is a cached artifact, not a
 /// per-run cost.
@@ -100,7 +100,7 @@ class SurrogateTable {
                      base::Rng& rng) const;
 
   /// JSON artifact round trip (schema "uwbams-surrogate-v1"; see
-  /// docs/netscale.md). from_json throws net::JsonError or
+  /// docs/netscale.md). from_json throws base::JsonError or
   /// std::invalid_argument on schema violations.
   std::string to_json() const;
   static SurrogateTable from_json(const std::string& text);

@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "core/equiv.hpp"
 #include "runner/parallel.hpp"
 #include "runner/registry.hpp"
 #include "runner/sink.hpp"
@@ -24,6 +27,14 @@ constexpr const char* kUsage =
     "                    (bench | mc | netscale | ranging | ablation |\n"
     "                    example)\n"
     "  --scale=S         workload tier: fast | default | full\n"
+    "  --tier=T          exactness tier: bit_exact (default; byte-compare\n"
+    "                    gates hold) | stat_equiv (optimized engine; results\n"
+    "                    gated by golden-stats equivalence)\n"
+    "  --golden=FILE     after the run, compare the scenario's\n"
+    "                    golden_stats.json against FILE and fail on\n"
+    "                    statistical mismatch (writes equiv_report.json)\n"
+    "  --equiv-check     standalone mode: uwbams_run --equiv-check\n"
+    "                    GOLDEN.json CANDIDATE.json (no scenario is run)\n"
     "  --jobs=N          worker threads for sweeps (0 = all cores)\n"
     "  --seed=N          base seed for the scenario's sweeps\n"
     "  --out=DIR         write CSV/JSON artifacts under DIR/<scenario>/\n"
@@ -53,6 +64,41 @@ int match_value_flag(const char* const* argv, int argc, int* i,
   return 0;
 }
 
+// Reads a whole file; false (with a message) when it cannot be opened.
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "uwbams_run: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Loads and compares two golden-stats artifacts; prints the report.
+// Returns the process exit code.
+int run_equiv_check(const std::string& golden_path,
+                    const std::string& candidate_path) {
+  std::string golden_text, candidate_text;
+  if (!read_file(golden_path, &golden_text) ||
+      !read_file(candidate_path, &candidate_text))
+    return 2;
+  try {
+    const auto golden = core::StatArtifact::from_json(golden_text);
+    const auto candidate = core::StatArtifact::from_json(candidate_text);
+    const auto report = core::compare_stats(golden, candidate);
+    std::printf("equiv_check: %s (golden) vs %s (candidate)\n%s",
+                golden_path.c_str(), candidate_path.c_str(),
+                report.to_text().c_str());
+    return report.passed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "uwbams_run: equiv-check failed: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 bool parse_cli(int argc, const char* const* argv, CliOptions* out) {
@@ -78,6 +124,20 @@ bool parse_cli(int argc, const char* const* argv, CliOptions* out) {
         return false;
       }
       out->scale_set = true;
+    } else if ((m = match_value_flag(argv, argc, &i, "--tier", &value)) != 0) {
+      if (m < 0) return false;
+      if (!core::parse_exactness_tier(value, &out->tier)) {
+        std::fprintf(stderr,
+                     "uwbams_run: bad --tier '%s' (bit_exact|stat_equiv)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if ((m = match_value_flag(argv, argc, &i, "--golden", &value)) !=
+               0) {
+      if (m < 0) return false;
+      out->golden = value;
+    } else if (arg == "--equiv-check") {
+      out->equiv_check = true;
     } else if ((m = match_value_flag(argv, argc, &i, "--jobs", &value)) != 0) {
       if (m < 0) return false;
       try {
@@ -120,6 +180,16 @@ int run_cli(int argc, const char* const* argv) {
   if (opt.help) {
     std::printf("%s", kUsage);
     return 0;
+  }
+
+  if (opt.equiv_check) {
+    if (opt.scenarios.size() != 2) {
+      std::fprintf(stderr,
+                   "uwbams_run: --equiv-check needs exactly two files "
+                   "(golden, candidate)\n");
+      return 2;
+    }
+    return run_equiv_check(opt.scenarios[0], opt.scenarios[1]);
   }
 
   auto& registry = ScenarioRegistry::instance();
@@ -174,13 +244,15 @@ int run_cli(int argc, const char* const* argv) {
   ParallelRunner pool(opt.jobs);
   int failures = 0;
   for (const Scenario* s : selected) {
-    std::printf("=== %s — %s (scale: %s, jobs: %d) ===\n\n",
+    std::printf("=== %s — %s (scale: %s, tier: %s, jobs: %d) ===\n\n",
                 s->info.name.c_str(), s->info.title.c_str(),
-                to_string(opt.scale), pool.jobs());
+                to_string(opt.scale), core::to_string(opt.tier), pool.jobs());
     std::fflush(stdout);
 
     ResultSink sink(s->info.name, opt.out_dir);
-    RunContext ctx{s->info.name, opt.scale, pool.jobs(), opt.seed, sink, pool};
+    RunContext ctx{s->info.name, opt.scale, pool.jobs(),
+                   opt.seed,      sink,      pool,
+                   opt.tier};
     const auto engine0 = spice::engine_counters::snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     int status = 0;
@@ -194,6 +266,35 @@ int run_cli(int argc, const char* const* argv) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    // Statistical-equivalence gate: compare the run's golden-stats artifact
+    // against the pinned golden. A mismatch fails the scenario exactly like
+    // a scenario-body FAIL does.
+    if (status == 0 && !opt.golden.empty()) {
+      std::string golden_text;
+      if (!read_file(opt.golden, &golden_text)) {
+        status = 1;
+      } else if (sink.golden_stats().empty()) {
+        std::fprintf(stderr,
+                     "uwbams_run: scenario '%s' registered no golden stats "
+                     "to compare against --golden\n",
+                     s->info.name.c_str());
+        status = 1;
+      } else {
+        try {
+          const auto report = core::compare_stats(
+              core::StatArtifact::from_json(golden_text),
+              core::StatArtifact::from_json(sink.golden_stats()));
+          sink.note("\nEquivalence vs " + opt.golden + ":\n" +
+                    report.to_text());
+          sink.raw_artifact("equiv_report.json", report.to_json());
+          if (!report.passed) status = 1;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "uwbams_run: equivalence gate failed: %s\n",
+                       e.what());
+          status = 1;
+        }
+      }
+    }
     // Engine work this scenario caused, as a process-counter delta (every
     // retired TransientSession and OP solve lands here) -> summary.json
     // `perf` block.

@@ -27,13 +27,16 @@ struct CliOptions {
   bool help = false;
   bool list = false;
   bool all = false;
+  bool equiv_check = false;      // compare two golden_stats.json files
   std::string group;             // filter for --list / --all
   Scale scale = Scale::kDefault;
   bool scale_set = false;        // true when --scale was given
+  core::ExactnessTier tier = core::ExactnessTier::kBitExact;
+  std::string golden;            // golden_stats.json to gate the run against
   int jobs = 1;                  // 0 = hardware concurrency
   std::uint64_t seed = 1;
   std::string out_dir;           // empty = stdout only
-  std::vector<std::string> scenarios;
+  std::vector<std::string> scenarios;  // or the two files of --equiv-check
 };
 
 // Parses argv into `out`. Returns false (with a message on stderr) on

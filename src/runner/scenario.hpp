@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/equiv.hpp"
 #include "core/experiment.hpp"
 #include "runner/parallel.hpp"
 #include "uwb/config.hpp"
@@ -83,14 +84,21 @@ struct SweepPoint {
 class ScenarioSpec {
  public:
   explicit ScenarioSpec(std::string name, Scale scale = Scale::kDefault,
-                        std::uint64_t seed = 1)
-      : name_(std::move(name)), scale_(scale) {
+                        std::uint64_t seed = 1,
+                        core::ExactnessTier tier = core::ExactnessTier::kBitExact)
+      : name_(std::move(name)), scale_(scale), tier_(tier) {
     sys_.seed = seed;
   }
 
   const std::string& name() const { return name_; }
   Scale scale() const { return scale_; }
   ScenarioSpec& with_scale(Scale s) { scale_ = s; return *this; }
+
+  // Declared exactness contract of this run: bit_exact keeps the byte-
+  // compare gates, stat_equiv trades them for golden-stats equivalence and
+  // unlocks the optimized engine profile (core::variant_for_tier).
+  core::ExactnessTier tier() const { return tier_; }
+  ScenarioSpec& with_tier(core::ExactnessTier t) { tier_ = t; return *this; }
 
   template <typename T>
   T pick(T fast, T def, T full) const {
@@ -146,6 +154,7 @@ class ScenarioSpec {
  private:
   std::string name_;
   Scale scale_;
+  core::ExactnessTier tier_ = core::ExactnessTier::kBitExact;
   uwb::SystemConfig sys_;
   core::IntegratorKind kind_ = core::IntegratorKind::kIdeal;
   double duration_ = 30e-6;
@@ -165,14 +174,20 @@ struct RunContext {
   std::uint64_t seed = 1;
   ResultSink& sink;
   ParallelRunner& pool;
+  core::ExactnessTier tier = core::ExactnessTier::kBitExact;
 
   template <typename T>
   T pick(T fast, T def, T full) const {
     return pick_by_scale(scale, fast, def, full);
   }
 
-  // A spec pre-loaded with this run's name, scale tier and base seed.
-  ScenarioSpec spec() const { return ScenarioSpec(scenario_name, scale, seed); }
+  // Engine options matching this run's declared exactness tier.
+  core::VariantOptions variant() const { return core::variant_for_tier(tier); }
+
+  // A spec pre-loaded with this run's name, scale, base seed and tier.
+  ScenarioSpec spec() const {
+    return ScenarioSpec(scenario_name, scale, seed, tier);
+  }
 };
 
 }  // namespace uwbams::runner

@@ -141,6 +141,14 @@ void ResultSink::raw_artifact(const std::string& filename,
   write_artifact(filename, "", content);
 }
 
+void ResultSink::golden_stats(const std::string& json) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    golden_stats_ = json;
+  }
+  write_artifact("golden_stats.json", "", json);
+}
+
 void ResultSink::finish(int status, double wall_seconds) {
   if (out_dir_.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);

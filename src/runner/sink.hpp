@@ -58,6 +58,13 @@ class ResultSink {
   // BENCH_engine.json). The name is used as the file name as-is.
   void raw_artifact(const std::string& filename, const std::string& content);
 
+  // The run's golden-stats artifact (core::StatArtifact::to_json): written
+  // as golden_stats.json when an output dir is set, and kept in memory so
+  // the CLI driver can run the --golden equivalence comparison without
+  // re-reading files. Empty = the scenario registered no stats.
+  void golden_stats(const std::string& json);
+  const std::string& golden_stats() const { return golden_stats_; }
+
   // Called by the CLI driver once the scenario returns: writes
   // summary.json (when an output dir is set).
   void finish(int status, double wall_seconds);
@@ -73,6 +80,7 @@ class ResultSink {
 
   std::string scenario_;
   std::string out_dir_;
+  std::string golden_stats_;
   std::vector<std::string> artifacts_;
   // key -> already-rendered JSON value.
   std::vector<std::pair<std::string, std::string>> metrics_;

@@ -17,7 +17,8 @@ double AcSweep::phase_deg(std::size_t i) const {
 }
 
 AcSweep run_ac(Circuit& circuit, const std::vector<double>& op,
-               std::span<const double> freqs, NodeId probe_p, NodeId probe_m) {
+               std::span<const double> freqs, NodeId probe_p, NodeId probe_m,
+               const AcOptions& options) {
   circuit.prepare();
   if (op.size() != circuit.unknown_count())
     throw std::invalid_argument("run_ac: operating point size mismatch");
@@ -26,6 +27,14 @@ AcSweep run_ac(Circuit& circuit, const std::vector<double>& op,
   const int ip = circuit.node_index(probe_p);
   const int im = circuit.node_index(probe_m);
 
+  // Pivot-order reuse across the grid (and, with an external workspace,
+  // across structurally identical sweeps): the complex MNA matrix changes
+  // smoothly with omega, so the frozen order stays acceptable for long
+  // stretches, exactly as in the transient fast path.
+  linalg::LuFactor<std::complex<double>> local;
+  linalg::LuFactor<std::complex<double>>* lu =
+      options.workspace != nullptr ? options.workspace : &local;
+
   AcSweep sweep;
   sweep.points.reserve(freqs.size());
   Mna<std::complex<double>> mna(n);
@@ -33,7 +42,15 @@ AcSweep run_ac(Circuit& circuit, const std::vector<double>& op,
     const double omega = 2.0 * units::pi * f;
     mna.clear();
     for (const auto& dev : circuit.devices()) dev->stamp_ac(mna, op, omega);
-    const auto x = linalg::solve(mna.matrix(), mna.rhs());
+    std::vector<std::complex<double>> x;
+    if (options.reuse_factorization) {
+      if (lu->size() != n || !lu->valid() || !lu->refactor(mna.matrix()))
+        lu->factor(mna.matrix());
+      x = mna.rhs();
+      lu->solve_in_place(x);
+    } else {
+      x = linalg::solve(mna.matrix(), mna.rhs());
+    }
     std::complex<double> vp =
         ip >= 0 ? x[static_cast<std::size_t>(ip)] : std::complex<double>{};
     std::complex<double> vm =

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/lu.hpp"
 #include "spice/circuit.hpp"
 #include "spice/op.hpp"
 
@@ -30,11 +31,27 @@ struct AcSweep {
   double phase_deg(std::size_t i) const;
 };
 
+/// AC solver configuration.
+struct AcOptions {
+  /// Reuse the complex LU pivot order across the frequency grid
+  /// (linalg::LuFactor::refactor) instead of a fresh full-pivoting
+  /// factorization per point, falling back to factor() when the frozen
+  /// pivot sequence degrades. Same linear systems, different elimination
+  /// rounding — reserved for stat_equiv runs; the default keeps the
+  /// historical one-shot path bit-identical.
+  bool reuse_factorization = false;
+  /// Optional external workspace for `reuse_factorization`: the pivot
+  /// order then also survives across run_ac calls on structurally
+  /// identical circuits (e.g. across Monte-Carlo trials of one netlist).
+  /// nullptr = per-call workspace. The caller owns thread confinement.
+  linalg::LuFactor<std::complex<double>>* workspace = nullptr;
+};
+
 /// Runs an AC sweep. `op` must be a converged operating point of `circuit`
 /// (use solve_op). The probe is v(probe_p) - v(probe_m).
 AcSweep run_ac(Circuit& circuit, const std::vector<double>& op,
                std::span<const double> freqs, NodeId probe_p,
-               NodeId probe_m = 0);
+               NodeId probe_m = 0, const AcOptions& options = {});
 
 /// Logarithmically spaced frequency grid, `points_per_decade` points per
 /// decade from f_start to f_stop inclusive.

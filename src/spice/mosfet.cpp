@@ -101,6 +101,7 @@ void Mosfet::stamp(Mna<double>& mna, const StampArgs& args) const {
   const double vse = swapped ? vd : vs;
 
   const MosEval e = evaluate(vd, vg, vs, vb);
+  last_region_ = e.region;
 
   // Conductance stamps are polarity-invariant (see header notes): the
   // current into the effective drain is
@@ -137,13 +138,21 @@ void Mosfet::stamp(Mna<double>& mna, const StampArgs& args) const {
   }
 }
 
-double Mosfet::ids_effective(double vds, double vgs, double vbs) const {
+double Mosfet::ids_effective(double vds, double vgs, double vbs,
+                             MosEval::Region* region) const {
   const double sq_arg = std::max(model_.phi - vbs, 0.02);
   const double vth = vt0_abs_ + model_.gamma * (std::sqrt(sq_arg) - sqrt_phi_);
   const double vov = vgs - vth;
-  if (vov <= 0.0) return 0.0;
+  if (vov <= 0.0) {
+    *region = MosEval::Region::kCutoff;
+    return 0.0;
+  }
   const double clm = 1.0 + model_.lambda * vds;
-  if (vds < vov) return beta_ * (vov * vds - 0.5 * vds * vds) * clm;
+  if (vds < vov) {
+    *region = MosEval::Region::kTriode;
+    return beta_ * (vov * vds - 0.5 * vds * vds) * clm;
+  }
+  *region = MosEval::Region::kSaturation;
   return 0.5 * beta_ * vov * vov * clm;
 }
 
@@ -162,7 +171,7 @@ void Mosfet::residual(std::vector<double>& f, const StampArgs& args) const {
     vbs = p * (vb - vd);
     swapped = true;
   }
-  const double id = p * ids_effective(vds, vgs, vbs);
+  const double id = p * ids_effective(vds, vgs, vbs, &last_region_);
 
   // Per-terminal accumulators (registers); one guarded flush at the end.
   double fd = swapped ? -id : id;
@@ -234,8 +243,12 @@ MosEval::Region Mosfet::region_at(const std::vector<double>& x) const {
 }
 
 std::array<double, 5> Mosfet::meyer_caps(const std::vector<double>& x) const {
+  return caps_for_region(region_at(x));
+}
+
+std::array<double, 5> Mosfet::caps_for_region(MosEval::Region region) const {
   double cgs = ovl_s_, cgd = ovl_d_, cgb = ovl_b_;
-  switch (region_at(x)) {
+  switch (region) {
     case MosEval::Region::kCutoff:
       cgb += cox_tot_;
       break;
@@ -256,6 +269,7 @@ void Mosfet::refresh_cap_values(const std::vector<double>& x) {
 }
 
 void Mosfet::init_state(const std::vector<double>& op) {
+  last_region_ = region_at(op);
   refresh_cap_values(op);
   for (std::size_t k = 0; k < caps_.size(); ++k) {
     caps_[k].v_prev =
@@ -272,8 +286,15 @@ void Mosfet::commit(const std::vector<double>& x, double, double) {
   caps_[2].v_prev = vg - vb;
   caps_[3].v_prev = vd - vb;
   caps_[4].v_prev = vs - vb;
-  // Region may have changed: recompute Meyer values for the next step.
-  refresh_cap_values(x);
+  // Region may have changed: recompute Meyer values for the next step. In
+  // fused-commit mode the region recorded by the last evaluation stands in
+  // for region_at(x) — see set_fused_commit() in the header.
+  if (fused_commit_) {
+    const auto cs = caps_for_region(last_region_);
+    for (std::size_t k = 0; k < caps_.size(); ++k) caps_[k].c = cs[k];
+  } else {
+    refresh_cap_values(x);
+  }
 }
 
 void Mosfet::stamp_ac(Mna<std::complex<double>>& mna,

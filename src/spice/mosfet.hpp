@@ -50,6 +50,14 @@ class Mosfet final : public Device {
   double width() const { return width_; }
   double length() const { return length_; }
 
+  /// Fused-commit mode (the stat_equiv engine profile): commit() reuses the
+  /// operating region recorded by the last residual()/stamp() evaluation
+  /// instead of recomputing region_at(x). The last evaluation happened at
+  /// the pre-final-update Newton iterate, so a device sitting exactly on a
+  /// region boundary can freeze the other region's Meyer values — a
+  /// marginal-bit difference, which is why this is off under bit_exact.
+  void set_fused_commit(bool on) { fused_commit_ = on; }
+
   /// Level-1 equations at the given terminal voltages (actual node frame).
   MosEval evaluate(double vd, double vg, double vs, double vb) const;
   /// Evaluation at a solution vector (e.g. an operating point).
@@ -73,10 +81,15 @@ class Mosfet final : public Device {
   /// Meyer capacitance values for the region at solution x.
   /// Order: Cgs, Cgd, Cgb, Cdb, Csb.
   std::array<double, 5> meyer_caps(const std::vector<double>& x) const;
+  /// Meyer capacitance values for an already-known region (the fused-commit
+  /// path). Must stay table-identical to meyer_caps().
+  std::array<double, 5> caps_for_region(MosEval::Region region) const;
   /// Drain current in the effective (flipped) frame — the ids-only half of
   /// evaluate(), used by the derivative-free residual() hot path. Must stay
-  /// formula-identical to evaluate().
-  double ids_effective(double vds, double vgs, double vbs) const;
+  /// formula-identical to evaluate(). Writes the operating region to
+  /// *region as a byproduct (it falls out of the vov/vds comparisons).
+  double ids_effective(double vds, double vgs, double vbs,
+                       MosEval::Region* region) const;
   /// Operating region at solution x — the first half of evaluate(), without
   /// the current/conductance math. Kept decision-identical to evaluate() so
   /// commit()-time cap refreshes stay exact but cheap.
@@ -98,6 +111,10 @@ class Mosfet final : public Device {
   /// Cap terminal index pairs, fixed at construction.
   std::array<std::pair<int, int>, 5> cap_nodes_;
   std::array<CapState, 5> caps_;
+  /// Fused-commit support: region observed by the most recent
+  /// residual()/stamp() evaluation (mutable — those entry points are const).
+  bool fused_commit_ = false;
+  mutable MosEval::Region last_region_ = MosEval::Region::kCutoff;
 };
 
 }  // namespace uwbams::spice

@@ -23,10 +23,12 @@ TransientSession::TransientSession(Circuit& circuit, TransientOptions options)
   pattern_ = circuit_->stamp_pattern();
   mna_ = Mna<double>(*pattern_);
   for (const auto& dev : circuit_->devices()) {
-    if (const auto* m = dynamic_cast<const Mosfet*>(dev.get()))
+    if (auto* m = dynamic_cast<Mosfet*>(dev.get())) {
+      m->set_fused_commit(opts_.fused_commit);
       mosfets_.push_back(m);
-    else
+    } else {
       others_.push_back(dev.get());
+    }
     const Device* d = dev.get();
     const bool stateless = dynamic_cast<const Resistor*>(d) ||
                            dynamic_cast<const VoltageSource*>(d) ||
@@ -35,6 +37,7 @@ TransientSession::TransientSession(Circuit& circuit, TransientOptions options)
                            dynamic_cast<const Vccs*>(d);
     if (!stateless) stateful_.push_back(dev.get());
   }
+  lu_.set_packed_solve(opts_.packed_solve);
   x_work_ = x_;
   x_new_ = x_;
   x_prev_ = x_;
@@ -194,6 +197,15 @@ bool TransientSession::newton_step(double dt, Integrator method,
       f_.assign(n, 0.0);
       for (const Device* dev : others_) dev->residual(f_, args);
       for (const Mosfet* m : mosfets_) m->Mosfet::residual(f_, args);
+      if (opts_.iabstol > 0.0) {
+        // The KCL mismatch of the current iterate is already below the
+        // current tolerance everywhere: accept without the confirming
+        // solve-and-update (the update it would compute is O(|f|)).
+        double max_f = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+          max_f = std::max(max_f, std::abs(f_[i]));
+        if (max_f <= opts_.iabstol) return true;
+      }
       lu_.solve_in_place(f_);
       ++stats_.solves;
       const double scale = opts_.chord_tol_scale;

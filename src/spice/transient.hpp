@@ -116,9 +116,46 @@ struct TransientOptions {
   /// acceptance closes that accuracy gap at the cost of roughly one extra
   /// (cheap) chord iteration per step.
   double chord_tol_scale = 0.1;
+  /// Residual-based early acceptance for chord iterations: when every KCL
+  /// residual entry is already below `iabstol` [A] *before* the solve, the
+  /// iterate is accepted without the confirming solve-and-update. 0 = off
+  /// (every acceptance goes through the update-norm test). The stat_equiv
+  /// profile enables it at the classic SPICE abstol scale.
+  double iabstol = 0.0;
+  /// Multirate co-simulation at the bridge boundary: the spice wrapper
+  /// (uwb::SpiceIntegrator) holds its input and takes one embedded solver
+  /// step per `cosim_decimation` macro samples (step size dt*N), flushing
+  /// pending samples at every control-phase edge so integrate/dump window
+  /// timing is unchanged. 1 = lockstep (one solve per macro sample, the
+  /// bit_exact behavior). Consumed by the co-simulation wrapper, not the
+  /// transient engine itself.
+  int cosim_decimation = 1;
+  /// Pack L/U values contiguously after each factorization so chord solves
+  /// stream them sequentially (LuFactor::set_packed_solve). Identical
+  /// arithmetic; pays off when each factorization serves several solves.
+  bool packed_solve = false;
+  /// Mosfet::commit reuses the region recorded by the last device
+  /// evaluation instead of recomputing it from the final iterate — can
+  /// freeze the neighboring region's Meyer caps for a device landing
+  /// exactly on a region boundary, so reserved for stat_equiv runs.
+  bool fused_commit = false;
   AdaptiveOptions adaptive;  ///< adaptive stepping (advance_to) knobs
   OpOptions op;              ///< initial operating point options
 };
+
+/// The engine profile of the `stat_equiv` exactness tier: chord acceptance
+/// at the plain Newton tolerance (the linear-convergence safety margin the
+/// bit_exact default buys costs ~20% extra iterations), packed L/U solves
+/// and fused device commits. Centralized here so every stat_equiv caller
+/// (scenarios, tests, benches) means the same engine.
+inline void apply_stat_equiv_profile(TransientOptions* opts) {
+  opts->chord_tol_scale = 1.0;
+  opts->iabstol = 1e-9;
+  opts->vabstol = 1e-5;
+  opts->cosim_decimation = 5;
+  opts->packed_solve = true;
+  opts->fused_commit = true;
+}
 
 /// Resumable transient analysis of one prepared Circuit.
 class TransientSession {

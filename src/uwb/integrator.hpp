@@ -126,6 +126,15 @@ class SpiceIntegrator final : public IntegrateAndDump {
   /// Signals driven into the embedded circuit.
   double vinp_ = 0.9, vinm_ = 0.9, ctrlp_ = 1.8, ctrlm_ = 1.8;
   Mode mode_ = Mode::kDump;
+  /// Multirate co-simulation (TransientOptions::cosim_decimation): one
+  /// embedded solver step per `decim_` macro samples, at step size dt*N
+  /// with the latest sample held as the drive. set_mode() flushes pending
+  /// samples so the integrate/dump window edges stay sample-accurate.
+  int decim_ = 1;
+  int pend_n_ = 0;
+  double pend_t_ = 0.0;
+  double pend_dt_ = 0.0;
+  void flush_pending();
 };
 
 }  // namespace uwbams::uwb

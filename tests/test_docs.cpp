@@ -129,6 +129,32 @@ TEST(Docs, NetscalePageCoversNetscaleScenarios) {
   }
 }
 
+// The exactness-tier contract (methodology.md) must keep covering the
+// vocabulary a reader needs to drive and refresh the stat_equiv gate:
+// both tier names, the CLI flags, the artifact/report file names, the
+// two statistical tests behind the checks, and the refresh command.
+TEST(Docs, MethodologyPageCoversExactnessTiers) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/methodology.md");
+  ASSERT_FALSE(text.empty());
+  for (const char* needle :
+       {"Exactness tiers", "bit_exact", "stat_equiv", "--tier", "--golden",
+        "--equiv-check", "golden_stats.json", "equiv_report.json",
+        "tests/golden/", "tools/refresh_golden.sh", "Wilson",
+        "Kolmogorov", "cosim_decimation"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "docs/methodology.md does not mention '" << needle << "'";
+  }
+  // The catalog's conventions must point readers at the tier contract.
+  const std::string catalog =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(catalog.empty());
+  for (const char* needle : {"--tier=bit_exact|stat_equiv", "golden_stats.json"}) {
+    EXPECT_NE(catalog.find(needle), std::string::npos)
+        << "docs/scenarios.md does not mention '" << needle << "'";
+  }
+}
+
 // Every scenario the catalog documents must also appear in the
 // characterization walk-through's command blocks or the paper map when it
 // reproduces a paper artifact; at minimum the three statistical scenarios

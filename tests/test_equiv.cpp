@@ -1,0 +1,174 @@
+// Mutation self-tests of the statistical-equivalence harness (core/equiv):
+// the gate behind the stat_equiv tier is only trustworthy if we can show it
+// *rejects* — an identical run must pass every check, and an injected
+// perturbation of each check kind (BER count, fitted scalar, Monte-Carlo
+// population) must fail exactly that check. Also pins the artifact's
+// canonical serialization: a JSON round-trip must be byte-stable, and a
+// schema or scenario mismatch must be an error, not a silent pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/json.hpp"
+#include "core/equiv.hpp"
+
+namespace {
+
+using namespace uwbams;
+using core::EquivReport;
+using core::ExactnessTier;
+using core::StatArtifact;
+
+// A representative artifact: one check of each kind, with the kinds of
+// values the real scenarios emit (a BER point, a fitted pole, a trial
+// population).
+StatArtifact make_artifact() {
+  StatArtifact art("fig6_ber", "fast");
+  art.add_ber("ber:eldo@12dB", 37, 2000);
+  art.add_scalar("f_pole1_hz", 0.886e6, 0.02);
+  std::vector<double> gains;
+  for (int i = 0; i < 40; ++i) gains.push_back(20.0 + 0.05 * (i % 11));
+  art.add_sample("gain_db", gains);
+  return art;
+}
+
+bool check_passed(const EquivReport& rep, const std::string& name) {
+  for (const auto& c : rep.checks)
+    if (c.name == name) return c.passed;
+  ADD_FAILURE() << "check '" << name << "' missing from report";
+  return false;
+}
+
+TEST(EquivGate, IdenticalRunPassesEveryCheck) {
+  const auto rep = core::compare_stats(make_artifact(), make_artifact());
+  EXPECT_TRUE(rep.passed);
+  ASSERT_EQ(rep.checks.size(), 3u);
+  for (const auto& c : rep.checks) EXPECT_TRUE(c.passed) << c.name;
+}
+
+TEST(EquivGate, PerturbedBerCountFails) {
+  // 37/2000 vs 110/2000: the Wilson 95% intervals are disjoint — a ~3x
+  // error-rate shift must not slip through the binomial check.
+  auto cand = make_artifact();
+  cand.add_ber("ber:eldo@12dB", 110, 2000);
+  const auto rep = core::compare_stats(make_artifact(), cand);
+  EXPECT_FALSE(rep.passed);
+  EXPECT_FALSE(check_passed(rep, "ber:eldo@12dB"));
+  EXPECT_TRUE(check_passed(rep, "f_pole1_hz"));
+  EXPECT_TRUE(check_passed(rep, "gain_db"));
+}
+
+TEST(EquivGate, BerWithinStatisticalNoisePasses) {
+  // 37 vs 45 errors out of 2000 is well inside the shared Wilson CI: the
+  // gate must tolerate seed-level noise or stat_equiv is bit_exact in
+  // disguise.
+  auto cand = make_artifact();
+  cand.add_ber("ber:eldo@12dB", 45, 2000);
+  EXPECT_TRUE(core::compare_stats(make_artifact(), cand).passed);
+}
+
+TEST(EquivGate, OutOfToleranceScalarFails) {
+  // The golden carries rel_tol = 2%; a 5% pole shift must fail, and the
+  // tolerance must come from the golden side (the candidate cannot loosen
+  // its own gate).
+  auto cand = make_artifact();
+  cand.add_scalar("f_pole1_hz", 0.886e6 * 1.05, /*rel_tol=*/1.0);
+  const auto rep = core::compare_stats(make_artifact(), cand);
+  EXPECT_FALSE(rep.passed);
+  EXPECT_FALSE(check_passed(rep, "f_pole1_hz"));
+  EXPECT_TRUE(check_passed(rep, "ber:eldo@12dB"));
+}
+
+TEST(EquivGate, ScalarInsideToleranceChecksPass) {
+  auto cand = make_artifact();
+  cand.add_scalar("f_pole1_hz", 0.886e6 * 1.01, 0.02);
+  EXPECT_TRUE(core::compare_stats(make_artifact(), cand).passed);
+}
+
+TEST(EquivGate, ShiftedPopulationFailsKs) {
+  // A constant ToA-offset-style shift of the whole population: every CDF
+  // point moves, KS D -> ~1, the sample check must reject.
+  auto cand = make_artifact();
+  std::vector<double> shifted;
+  for (int i = 0; i < 40; ++i) shifted.push_back(21.5 + 0.05 * (i % 11));
+  cand.add_sample("gain_db", shifted);
+  const auto rep = core::compare_stats(make_artifact(), cand);
+  EXPECT_FALSE(rep.passed);
+  EXPECT_FALSE(check_passed(rep, "gain_db"));
+}
+
+TEST(EquivGate, MissingOrExtraChecksFail) {
+  // The golden's check set is part of the contract: dropping a check (an
+  // optimization that silently stops measuring something) fails, as does
+  // inventing one the golden never pinned.
+  StatArtifact fewer("fig6_ber", "fast");
+  fewer.add_ber("ber:eldo@12dB", 37, 2000);
+  fewer.add_scalar("f_pole1_hz", 0.886e6, 0.02);
+  EXPECT_FALSE(core::compare_stats(make_artifact(), fewer).passed);
+  auto extra = make_artifact();
+  extra.add_scalar("made_up", 1.0, 0.1);
+  EXPECT_FALSE(core::compare_stats(make_artifact(), extra).passed);
+}
+
+TEST(EquivGate, ScenarioMismatchFails) {
+  StatArtifact other("yield_report", "fast");
+  other.add_ber("ber:eldo@12dB", 37, 2000);
+  other.add_scalar("f_pole1_hz", 0.886e6, 0.02);
+  std::vector<double> gains;
+  for (int i = 0; i < 40; ++i) gains.push_back(20.0 + 0.05 * (i % 11));
+  other.add_sample("gain_db", gains);
+  const auto rep = core::compare_stats(make_artifact(), other);
+  EXPECT_FALSE(rep.passed);
+  EXPECT_FALSE(check_passed(rep, "scenario"));
+}
+
+TEST(EquivGate, KindMismatchFails) {
+  auto cand = make_artifact();
+  cand.add_scalar("ber:eldo@12dB", 0.0185, 0.1);  // was a ber check
+  EXPECT_FALSE(core::compare_stats(make_artifact(), cand).passed);
+}
+
+TEST(EquivGate, EmptyReportIsAFailure) {
+  // Two empty artifacts share zero checks; "nothing was compared" must not
+  // read as a pass.
+  StatArtifact a("s", "fast"), b("s", "fast");
+  EXPECT_FALSE(core::compare_stats(a, b).passed);
+}
+
+TEST(StatArtifactJson, RoundTripIsByteStable) {
+  const auto art = make_artifact();
+  const std::string once = art.to_json();
+  const std::string twice = StatArtifact::from_json(once).to_json();
+  EXPECT_EQ(once, twice);  // canonical form: refreshed goldens diff cleanly
+}
+
+TEST(StatArtifactJson, RoundTripPreservesEveryCheck) {
+  const auto art = StatArtifact::from_json(make_artifact().to_json());
+  EXPECT_EQ(art.scenario(), "fig6_ber");
+  EXPECT_EQ(art.scale(), "fast");
+  const auto rep = core::compare_stats(make_artifact(), art);
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.checks.size(), 3u);
+}
+
+TEST(StatArtifactJson, SchemaMismatchThrows) {
+  auto text = make_artifact().to_json();
+  const auto pos = text.find("uwbams-golden-stats-v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 22, "uwbams-golden-stats-v9");
+  EXPECT_THROW(StatArtifact::from_json(text), base::JsonError);
+}
+
+TEST(ExactnessTierNames, ParseAndPrintAgree) {
+  ExactnessTier t = ExactnessTier::kBitExact;
+  EXPECT_TRUE(core::parse_exactness_tier("stat_equiv", &t));
+  EXPECT_EQ(t, ExactnessTier::kStatEquiv);
+  EXPECT_TRUE(core::parse_exactness_tier("BIT_EXACT", &t));
+  EXPECT_EQ(t, ExactnessTier::kBitExact);
+  EXPECT_FALSE(core::parse_exactness_tier("exactish", &t));
+  EXPECT_STREQ(core::to_string(ExactnessTier::kStatEquiv), "stat_equiv");
+}
+
+}  // namespace

@@ -99,6 +99,28 @@ TEST(SpiceIntegrator, CycleBehavesLikeBehavioral) {
   EXPECT_EQ(itd.kind(), "ELDO");
 }
 
+TEST(SpiceIntegrator, MultirateDecimationMatchesLockstep) {
+  // The stat_equiv profile runs the embedded solver once per N macro
+  // samples (sample-and-hold drive, step dt*N). Under a DC drive the
+  // hold is exact, so the decimated cell must land on the same
+  // window-edge outputs as the lockstep one up to the larger step's
+  // truncation error. decim=7 does not divide the dump (150) or
+  // integrate (500) sample counts, so set_mode's flush of the pending
+  // partial group is exercised at every window edge.
+  spice::TransientOptions fast;
+  fast.cosim_decimation = 7;
+  double in_1 = 0.0, in_n = 0.0;
+  SpiceIntegrator lock(&in_1);
+  SpiceIntegrator deci(&in_n, {}, fast);
+  const auto r1 = run_cycle(lock, in_1, 0.04);
+  const auto rn = run_cycle(deci, in_n, 0.04);
+  EXPECT_NEAR(rn.after_dump, r1.after_dump, 0.02);
+  EXPECT_GT(rn.after_integrate, 0.1);  // still integrates up
+  EXPECT_NEAR(rn.after_integrate, r1.after_integrate,
+              0.05 * r1.after_integrate + 5e-3);
+  EXPECT_NEAR(rn.after_hold, r1.after_hold, 0.05 * r1.after_hold + 5e-3);
+}
+
 TEST(SpiceIntegrator, PolarityMatchesBehavioralVariants) {
   // Positive input must integrate upward for all fidelities.
   double in = 0.0;

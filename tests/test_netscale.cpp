@@ -22,7 +22,7 @@
 #include "core/block_variant.hpp"
 #include "net/calibrate.hpp"
 #include "net/engine.hpp"
-#include "net/json.hpp"
+#include "base/json.hpp"
 #include "net/mobility.hpp"
 #include "net/surrogate.hpp"
 
@@ -75,20 +75,20 @@ net::CalibrationConfig tiny_calibration() {
 // ----------------------------------------------------------------- JSON
 
 TEST(NetJson, RoundTripPreservesValuesAndIsByteStable) {
-  net::JsonObject obj;
-  obj["name"] = net::JsonValue("table");
-  obj["count"] = net::JsonValue(3);
-  obj["scale"] = net::JsonValue(0.1);  // not exactly representable
-  obj["flag"] = net::JsonValue(true);
-  net::JsonArray arr;
+  base::JsonObject obj;
+  obj["name"] = base::JsonValue("table");
+  obj["count"] = base::JsonValue(3);
+  obj["scale"] = base::JsonValue(0.1);  // not exactly representable
+  obj["flag"] = base::JsonValue(true);
+  base::JsonArray arr;
   arr.emplace_back(1.5);
   arr.emplace_back("two");
-  arr.emplace_back(net::JsonValue());
-  obj["items"] = net::JsonValue(std::move(arr));
-  const net::JsonValue v{std::move(obj)};
+  arr.emplace_back(base::JsonValue());
+  obj["items"] = base::JsonValue(std::move(arr));
+  const base::JsonValue v{std::move(obj)};
 
   const std::string text = v.dump(2);
-  const net::JsonValue parsed = net::parse_json(text);
+  const base::JsonValue parsed = base::parse_json(text);
   EXPECT_EQ(parsed.at("name").as_string(), "table");
   EXPECT_EQ(parsed.at("count").as_number(), 3.0);
   EXPECT_EQ(parsed.at("scale").as_number(), 0.1);
@@ -100,15 +100,15 @@ TEST(NetJson, RoundTripPreservesValuesAndIsByteStable) {
 }
 
 TEST(NetJson, RejectsMalformedInput) {
-  EXPECT_THROW(net::parse_json("{"), net::JsonError);
-  EXPECT_THROW(net::parse_json("[1, 2,]"), net::JsonError);
-  EXPECT_THROW(net::parse_json("{\"a\": 1} garbage"), net::JsonError);
-  EXPECT_THROW(net::parse_json("{\"a\" 1}"), net::JsonError);
-  EXPECT_THROW(net::parse_json(""), net::JsonError);
+  EXPECT_THROW(base::parse_json("{"), base::JsonError);
+  EXPECT_THROW(base::parse_json("[1, 2,]"), base::JsonError);
+  EXPECT_THROW(base::parse_json("{\"a\": 1} garbage"), base::JsonError);
+  EXPECT_THROW(base::parse_json("{\"a\" 1}"), base::JsonError);
+  EXPECT_THROW(base::parse_json(""), base::JsonError);
   // Kind mismatches on access are schema errors, also loud.
-  const net::JsonValue v = net::parse_json("{\"a\": 1}");
-  EXPECT_THROW(v.at("missing"), net::JsonError);
-  EXPECT_THROW(v.at("a").as_string(), net::JsonError);
+  const base::JsonValue v = base::parse_json("{\"a\": 1}");
+  EXPECT_THROW(v.at("missing"), base::JsonError);
+  EXPECT_THROW(v.at("a").as_string(), base::JsonError);
 }
 
 // ------------------------------------------------------------- surrogate
@@ -141,7 +141,7 @@ TEST(Surrogate, FromJsonRejectsMangledTables) {
 
   EXPECT_THROW(net::SurrogateTable::from_json("{\"schema\": \"x\"}"),
                std::invalid_argument);
-  EXPECT_THROW(net::SurrogateTable::from_json("not json"), net::JsonError);
+  EXPECT_THROW(net::SurrogateTable::from_json("not json"), base::JsonError);
 }
 
 TEST(Surrogate, LookupSelectsNearestCellAndClamps) {

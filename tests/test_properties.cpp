@@ -7,8 +7,12 @@
 #include <cmath>
 
 #include "ams/ode.hpp"
+#include "base/parallel.hpp"
 #include "base/random.hpp"
 #include "base/units.hpp"
+#include "core/block_variant.hpp"
+#include "core/equiv.hpp"
+#include "core/montecarlo.hpp"
 #include "uwb/adc.hpp"
 #include "uwb/channel.hpp"
 #include "uwb/pulse.hpp"
@@ -163,6 +167,92 @@ TEST(Pulse, EnergyScalesQuadratically) {
   const uwb::GaussianMonocycle a(2, 0.7e-9, 0.5);
   const uwb::GaussianMonocycle b(2, 0.7e-9, 1.0);
   EXPECT_NEAR(b.energy() / a.energy(), 4.0, 1e-9);
+}
+
+// --- exactness-tier contracts -------------------------------------------
+//
+// The two tiers promise different things and both promises are testable:
+//  * bit_exact: same seed => byte-identical artifacts for any worker count
+//    (the PR 1/3 determinism contract);
+//  * stat_equiv: the optimized engine profile may flip marginal bits, but
+//    (a) it keeps the jobs-invariance contract (the Monte-Carlo block
+//    layout depends only on trial index), and (b) its results pass the
+//    statistical-equivalence gate against a bit_exact run of the same seed.
+
+core::McConfig tier_mc_config(bool stat_equiv) {
+  core::McConfig cfg;
+  cfg.trials = 8;
+  cfg.seed = 7;
+  cfg.sigma_scale = 1.0;
+  if (stat_equiv) {
+    spice::apply_stat_equiv_profile(&cfg.characterize.transient);
+    cfg.characterize.reuse_ac_factorization = true;
+  }
+  return cfg;
+}
+
+core::StatArtifact tier_mc_stats(const core::McResult& mc) {
+  core::StatArtifact stats("tier_contract", "fast");
+  stats.add_ber("yield:failures",
+                static_cast<std::uint64_t>(mc.summary.trials -
+                                           mc.summary.passes),
+                static_cast<std::uint64_t>(mc.summary.trials));
+  std::vector<double> gains, slews;
+  for (const auto& tr : mc.trials) {
+    if (!tr.converged) continue;
+    gains.push_back(tr.dc_gain_db);
+    slews.push_back(tr.slew_rate);
+  }
+  stats.add_sample("gain_db", gains);
+  stats.add_sample("slew_rate_vps", slews);
+  return stats;
+}
+
+TEST(TierContract, BitExactIsByteIdenticalAcrossJobs) {
+  const auto cfg = tier_mc_config(false);
+  base::ParallelRunner one(1), four(4);
+  const auto a = core::run_monte_carlo(cfg, {}, one);
+  const auto b = core::run_monte_carlo(cfg, {}, four);
+  EXPECT_EQ(core::trials_to_csv(a.trials), core::trials_to_csv(b.trials));
+}
+
+TEST(TierContract, StatEquivKeepsJobsInvariance) {
+  // The cross-trial AC-workspace blocks are fixed-size and indexed by trial
+  // alone, so even the optimized engine reproduces byte-for-byte across
+  // worker counts — and a fortiori passes the statistical gate.
+  const auto cfg = tier_mc_config(true);
+  base::ParallelRunner one(1), four(4);
+  const auto a = core::run_monte_carlo(cfg, {}, one);
+  const auto b = core::run_monte_carlo(cfg, {}, four);
+  EXPECT_EQ(core::trials_to_csv(a.trials), core::trials_to_csv(b.trials));
+  const auto rep = core::compare_stats(tier_mc_stats(a), tier_mc_stats(b));
+  EXPECT_TRUE(rep.passed) << rep.to_text();
+}
+
+TEST(TierContract, StatEquivIsEquivalentToBitExact) {
+  // The whole point of the tier: the optimized engine must be statistically
+  // indistinguishable from the exact one on the same seed.
+  base::ParallelRunner pool(2);
+  const auto exact = core::run_monte_carlo(tier_mc_config(false), {}, pool);
+  const auto fast = core::run_monte_carlo(tier_mc_config(true), {}, pool);
+  const auto rep = core::compare_stats(tier_mc_stats(exact),
+                                       tier_mc_stats(fast));
+  EXPECT_TRUE(rep.passed) << rep.to_text();
+}
+
+TEST(TierContract, VariantOptionsFollowTheTier) {
+  const auto exact = core::variant_for_tier(core::ExactnessTier::kBitExact);
+  const auto fast = core::variant_for_tier(core::ExactnessTier::kStatEquiv);
+  // bit_exact must keep the historical engine defaults...
+  const spice::TransientOptions defaults;
+  EXPECT_EQ(exact.transient.chord_tol_scale, defaults.chord_tol_scale);
+  EXPECT_EQ(exact.transient.cosim_decimation, defaults.cosim_decimation);
+  EXPECT_EQ(exact.transient.packed_solve, defaults.packed_solve);
+  // ...while stat_equiv enables the optimized profile.
+  EXPECT_GT(fast.transient.chord_tol_scale, exact.transient.chord_tol_scale);
+  EXPECT_GT(fast.transient.cosim_decimation, 1);
+  EXPECT_TRUE(fast.transient.packed_solve);
+  EXPECT_TRUE(fast.transient.fused_commit);
 }
 
 // Path-loss + unit-energy CIR: received energy through the sampled channel

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Refreshes the pinned golden-stats baselines in tests/golden/.
+#
+# The baselines are produced by a bit_exact run at the fast scale with
+# seed 1 — the same configuration tests/test_golden.cpp re-runs — so a
+# refresh from an unchanged tree is byte-identical and `git diff` after an
+# intentional refresh shows exactly which checks moved.
+#
+# Usage:  tools/refresh_golden.sh [build-dir]     (default: build)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+scenarios="fig6_ber yield_report ranging_network"
+
+cmake --build "$build" --target uwbams_run
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+# shellcheck disable=SC2086  # scenario list is intentionally word-split
+"$build/uwbams_run" $scenarios --scale=fast --seed=1 --tier=bit_exact \
+    --jobs=1 --out="$out"
+
+for s in $scenarios; do
+  cp "$out/$s/golden_stats.json" "$repo/tests/golden/$s.golden_stats.json"
+  echo "refreshed tests/golden/$s.golden_stats.json"
+done
+echo "done — review 'git diff tests/golden/' and commit the refresh"
