@@ -98,12 +98,18 @@ REGISTER_SCENARIO_TIERS(fig6_ber, "bench",
   }
   ctx.sink.table(t, "points");
 
-  std::uint64_t ideal_errors = 0, eldo_errors = 0;
+  std::uint64_t ideal_errors = 0, eldo_errors = 0, quarantined = 0;
   for (const auto& p : curves[0]) ideal_errors += p.errors;
   for (const auto& p : curves[1]) eldo_errors += p.errors;
+  for (const auto& p : flat) quarantined += p.quarantined ? 1 : 0;
   ctx.sink.metric("tw_product", tw);
   ctx.sink.metric("ideal_total_errors", ideal_errors);
   ctx.sink.metric("eldo_total_errors", eldo_errors);
+  ctx.sink.metric("quarantined", quarantined);
+  if (quarantined > 0)
+    ctx.sink.notef(
+        "%llu BER point(s) quarantined after retries — zero-bit rows above\n",
+        static_cast<unsigned long long>(quarantined));
 
   // Golden-stats artifact: one Wilson-CI check per (integrator, Eb/N0)
   // point plus the analytic T*W scalar — what `--golden` and the CI

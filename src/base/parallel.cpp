@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "base/faults.hpp"
 
 namespace uwbams::base {
 
@@ -15,38 +18,135 @@ ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
   }
 }
 
+namespace {
+
+struct CaughtFailure {
+  std::size_t index = 0;
+  std::string what;
+  std::exception_ptr error;
+};
+
+// Fans tasks over `workers` threads (or runs inline for workers <= 1) and
+// hands every per-task failure to `on_failure` under a mutex. Failures
+// never cancel the sweep: remaining tasks always drain, so jobs=1 and
+// jobs=8 see the same failure set.
+void fan_out(std::size_t n, std::size_t workers,
+             const std::function<bool(std::size_t, CaughtFailure*)>& run_one,
+             std::vector<CaughtFailure>* failures) {
+  std::mutex mu;
+  auto body = [&](std::size_t i) {
+    CaughtFailure f;
+    if (run_one(i, &f)) return;
+    std::lock_guard<std::mutex> lock(mu);
+    failures->push_back(std::move(f));
+  };
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        body(i);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads) t.join();
+  }
+  std::sort(failures->begin(), failures->end(),
+            [](const CaughtFailure& a, const CaughtFailure& b) {
+              return a.index < b.index;
+            });
+}
+
+}  // namespace
+
 void ParallelRunner::for_each(std::size_t n,
                               const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
+  std::vector<CaughtFailure> failures;
+  fan_out(
+      n, workers,
+      [&](std::size_t i, CaughtFailure* f) {
+        try {
+          fn(i);
+          return true;
+        } catch (const std::exception& e) {
+          f->index = i;
+          f->what = e.what();
+          f->error = std::current_exception();
+        } catch (...) {
+          f->index = i;
+          f->what = "non-standard exception";
+          f->error = std::current_exception();
+        }
+        return false;
+      },
+      &failures);
+  if (failures.empty()) return;
+  // One failed task: rethrow the original exception (type preserved).
+  // Several: aggregate count + the first few messages so a multi-failure
+  // sweep is diagnosable from one error string.
+  if (failures.size() == 1) std::rethrow_exception(failures[0].error);
+  constexpr std::size_t kShow = 4;
+  std::string msg = "ParallelRunner::for_each: " +
+                    std::to_string(failures.size()) + " of " +
+                    std::to_string(n) + " tasks failed";
+  for (std::size_t k = 0; k < std::min(kShow, failures.size()); ++k)
+    msg += "; task " + std::to_string(failures[k].index) + ": " +
+           failures[k].what;
+  if (failures.size() > kShow)
+    msg += "; ... (" + std::to_string(failures.size() - kShow) + " more)";
+  throw std::runtime_error(msg);
+}
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
-  worker();
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+std::vector<TaskFailure> ParallelRunner::for_each_tolerant(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const TaskPolicy& policy) const {
+  std::vector<TaskFailure> out;
+  if (n == 0) return out;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+  const int attempts = std::max(0, policy.max_retries) + 1;
+  std::vector<CaughtFailure> failures;
+  fan_out(
+      n, workers,
+      [&](std::size_t i, CaughtFailure* f) {
+        std::string reason = "unknown error";
+        for (int a = 0; a < attempts; ++a) {
+          if (a > 0 && policy.backoff_s > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(policy.backoff_s * a));
+          // The attempt scope lets injected faults (and honest accounting)
+          // distinguish first runs from retries; the probe is keyed by the
+          // task index alone, so the same plan quarantines the same tasks
+          // for any worker count.
+          faults::AttemptScope scope(a);
+          try {
+            faults::check("runner.task", static_cast<std::uint64_t>(i));
+            fn(i);
+            return true;
+          } catch (const std::exception& e) {
+            reason = e.what();
+          } catch (...) {
+            reason = "non-standard exception";
+          }
+        }
+        f->index = i;
+        f->what = std::move(reason);
+        return false;
+      },
+      &failures);
+  out.reserve(failures.size());
+  for (auto& f : failures)
+    out.push_back({f.index, attempts, std::move(f.what)});
+  return out;
 }
 
 }  // namespace uwbams::base

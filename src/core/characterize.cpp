@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "base/faults.hpp"
 #include "base/units.hpp"
 #include "spice/op.hpp"
 #include "spice/transient.hpp"
@@ -106,6 +107,9 @@ ItdCharacterization characterize_itd(const spice::ItdSizing& sizing,
   ItdCharacterization ch;
 
   // --- AC response of the cell (Fig. 4 sweep).
+  // Fault site: a simulated solver non-convergence, keyed by the mismatch
+  // seed so the same trial fails for any --jobs value.
+  base::faults::check("spice.nonconverge", sizing.variation.mismatch_seed);
   spice::Circuit ckt;
   const auto tb = spice::build_itd_testbench(ckt, sizing);
   const auto op = spice::solve_op(ckt);

@@ -4,9 +4,14 @@
 #include <cmath>
 #include <complex>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <iterator>
+#include <memory>
 #include <string>
 
+#include "base/checkpoint.hpp"
+#include "base/faults.hpp"
 #include "base/random.hpp"
 #include "core/block_variant.hpp"
 #include "uwb/ber.hpp"
@@ -37,6 +42,17 @@ YieldCriteria effective_criteria(const McConfig& config,
   if (!config.characterize.measure_linear_range) judged.min_input_range = 0.0;
   if (!config.characterize.measure_slew) judged.min_slew_rate = 0.0;
   return judged;
+}
+
+// The PVT condition of one trial, from its seed alone (sub-stream 1 of the
+// trial seed). Shared between the real trial path and the quarantine
+// placeholder path so a quarantined row still reports its true corner.
+PvtCorner trial_corner(const McConfig& config, std::uint64_t trial_seed) {
+  if (!config.sample_corners) return config.corner;
+  base::Rng pick(base::derive_seed(trial_seed, 1));
+  const auto corners = standard_corners(config.corner.vdd);
+  return corners[static_cast<std::size_t>(
+      pick.uniform_int(0, static_cast<int>(corners.size()) - 1))];
 }
 
 }  // namespace
@@ -106,14 +122,7 @@ McTrial run_mc_trial(const McConfig& config, int index,
 
   // Fixed sub-stream layout off the trial seed (never off execution
   // order): 1 = corner draw, 2 = mismatch cards, 3 = BER link noise.
-  trial.corner = config.corner;
-  if (config.sample_corners) {
-    base::Rng pick(base::derive_seed(trial.seed, 1));
-    const auto corners = standard_corners(config.corner.vdd);
-    trial.corner =
-        corners[static_cast<std::size_t>(pick.uniform_int(
-            0, static_cast<int>(corners.size()) - 1))];
-  }
+  trial.corner = trial_corner(config, trial.seed);
 
   spice::ItdSizing sizing = config.sizing;
   sizing.vdd = trial.corner.vdd;
@@ -137,10 +146,12 @@ McTrial run_mc_trial(const McConfig& config, int index,
     // a skipped measurement must not masquerade as "clamp at 0 V".
     trial.params = to_behavioral_params(
         ch, /*with_clamp=*/config.characterize.measure_linear_range);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     // A non-converging OP or a fit without a -3 dB corner is itself a
-    // yield failure, not a sweep abort.
+    // yield failure, not a sweep abort — but the reason must survive into
+    // the trial record, never be swallowed.
     trial.converged = false;
+    trial.failure_reason = e.what();
   }
 
   if (trial.converged && config.with_ber) {
@@ -164,50 +175,235 @@ McTrial run_mc_trial(const McConfig& config, int index,
     vo.behavioral_uses_clamp = config.characterize.measure_linear_range;
     const auto points = uwb::run_ber_sweep(
         bc, make_integrator_factory(IntegratorKind::kBehavioral, bc.sys, vo));
-    trial.ber = points.at(0).ber;
+    if (points.at(0).quarantined) {
+      // The BER task failed even after retries: the trial is a yield
+      // failure with the reason visible, never a silent BER of 0.
+      trial.converged = false;
+      trial.failure_reason = "behavioral BER sweep quarantined";
+    } else {
+      trial.ber = points.at(0).ber;
+    }
   }
 
   judge_trial(&trial, effective_criteria(config, criteria));
   return trial;
 }
 
+base::JsonValue trial_to_json(const McTrial& t) {
+  base::JsonObject o;
+  o["index"] = t.index;
+  o["seed"] = base::hex_u64(t.seed);
+  base::JsonObject corner;
+  corner["process"] = spice::to_string(t.corner.process);
+  corner["vdd"] = t.corner.vdd;
+  corner["temp_c"] = t.corner.temp_c;
+  o["corner"] = std::move(corner);
+  o["converged"] = t.converged;
+  o["dc_gain_db"] = t.dc_gain_db;
+  o["f_pole1"] = t.f_pole1;
+  o["f_pole2"] = t.f_pole2;
+  o["unity_gain_freq"] = t.unity_gain_freq;
+  o["input_linear_range"] = t.input_linear_range;
+  o["slew_rate"] = t.slew_rate;
+  o["fit_rms_error_db"] = t.fit_rms_error_db;
+  base::JsonObject params;
+  params["dc_gain_db"] = t.params.dc_gain_db;
+  params["f_pole1"] = t.params.f_pole1;
+  params["f_pole2"] = t.params.f_pole2;
+  params["input_clamp"] = t.params.input_clamp;
+  o["params"] = std::move(params);
+  o["ber"] = t.ber;
+  o["violations"] = static_cast<double>(t.violations);
+  o["pass"] = t.pass;
+  o["failure_reason"] = t.failure_reason;
+  o["attempts"] = t.attempts;
+  o["quarantined"] = t.quarantined;
+  return base::JsonValue(std::move(o));
+}
+
+McTrial trial_from_json(const base::JsonValue& v) {
+  McTrial t;
+  t.index = static_cast<int>(v.at("index").as_number());
+  t.seed = std::strtoull(v.at("seed").as_string().c_str(), nullptr, 16);
+  const base::JsonValue& corner = v.at("corner");
+  if (!spice::parse_corner(corner.at("process").as_string(),
+                           &t.corner.process))
+    throw base::JsonError("trial_from_json: unknown process corner \"" +
+                          corner.at("process").as_string() + "\"");
+  t.corner.vdd = corner.at("vdd").as_number();
+  t.corner.temp_c = corner.at("temp_c").as_number();
+  t.converged = v.at("converged").as_bool();
+  t.dc_gain_db = v.at("dc_gain_db").as_number();
+  t.f_pole1 = v.at("f_pole1").as_number();
+  t.f_pole2 = v.at("f_pole2").as_number();
+  t.unity_gain_freq = v.at("unity_gain_freq").as_number();
+  t.input_linear_range = v.at("input_linear_range").as_number();
+  t.slew_rate = v.at("slew_rate").as_number();
+  t.fit_rms_error_db = v.at("fit_rms_error_db").as_number();
+  const base::JsonValue& params = v.at("params");
+  t.params.dc_gain_db = params.at("dc_gain_db").as_number();
+  t.params.f_pole1 = params.at("f_pole1").as_number();
+  t.params.f_pole2 = params.at("f_pole2").as_number();
+  t.params.input_clamp = params.at("input_clamp").as_number();
+  t.ber = v.at("ber").as_number();
+  t.violations = static_cast<unsigned>(v.at("violations").as_number());
+  t.pass = v.at("pass").as_bool();
+  t.failure_reason = v.at("failure_reason").as_string();
+  t.attempts = static_cast<int>(v.at("attempts").as_number());
+  t.quarantined = v.at("quarantined").as_bool();
+  return t;
+}
+
+namespace {
+
+constexpr const char* kShardSchema = "uwbams.mc_shard/1";
+
+std::string trials_to_shard(const std::vector<McTrial>& trials) {
+  base::JsonObject doc;
+  doc["schema"] = kShardSchema;
+  base::JsonArray arr;
+  arr.reserve(trials.size());
+  for (const McTrial& t : trials) arr.push_back(trial_to_json(t));
+  doc["trials"] = std::move(arr);
+  return base::JsonValue(std::move(doc)).dump(2) + "\n";
+}
+
+// Parses one checkpoint shard and validates it covers exactly the trials
+// [lo, hi) — wrong schema, wrong count or wrong indices all throw, which
+// the caller treats as "recompute this task".
+std::vector<McTrial> shard_to_trials(const std::string& text, std::size_t lo,
+                                     std::size_t hi) {
+  const base::JsonValue doc = base::parse_json(text);
+  if (!doc.has("schema") || doc.at("schema").as_string() != kShardSchema)
+    throw base::JsonError("mc shard: unknown schema");
+  const base::JsonArray& arr = doc.at("trials").as_array();
+  if (arr.size() != hi - lo)
+    throw base::JsonError("mc shard: trial count mismatch");
+  std::vector<McTrial> out;
+  out.reserve(arr.size());
+  for (std::size_t k = 0; k < arr.size(); ++k) {
+    McTrial t = trial_from_json(arr[k]);
+    if (t.index != static_cast<int>(lo + k))
+      throw base::JsonError("mc shard: trial index mismatch");
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+// Canonical string of every result-affecting knob of a Monte-Carlo run;
+// its content_hash keys the checkpoint so a stale checkpoint (different
+// config, seed, trial count or tier) is rejected instead of silently
+// mixed in. The run_tag ("scenario|scale|tier") covers the knobs that are
+// functions of the scenario identity (sizing, transient profile).
+std::string mc_content_key(const McConfig& config, const std::string& run_tag) {
+  std::string key = "uwbams.mc/1|" + run_tag;
+  key += "|trials=" + std::to_string(config.trials);
+  key += "|seed=" + base::hex_u64(config.seed);
+  key += "|sigma=" + g17(config.sigma_scale);
+  key += "|corner=" + config.corner.label();
+  key += config.sample_corners ? "|sample_corners=1" : "|sample_corners=0";
+  key += config.with_ber ? "|with_ber=1" : "|with_ber=0";
+  key += "|ebn0=" + g17(config.ebn0_db);
+  key += "|bits=" + std::to_string(config.ber_bits);
+  const CharacterizeOptions& ch = config.characterize;
+  key += "|fstart=" + g17(ch.f_start) + "|fstop=" + g17(ch.f_stop);
+  key += "|ppd=" + std::to_string(ch.points_per_decade);
+  key += "|dt=" + g17(ch.dt);
+  key += ch.measure_linear_range ? "|meas_lin=1" : "|meas_lin=0";
+  key += ch.measure_slew ? "|meas_slew=1" : "|meas_slew=0";
+  key += ch.reuse_ac_factorization ? "|reuse_ac=1" : "|reuse_ac=0";
+  return key;
+}
+
+}  // namespace
+
 McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
-                         const base::ParallelRunner& pool) {
+                         const base::ParallelRunner& pool,
+                         const McRunOptions& opts) {
   McResult result;
   // Report the criteria as judged (skipped measurements relax them), never
   // the caller's unrelaxed thresholds.
   result.criteria = effective_criteria(config, criteria);
-  if (config.characterize.reuse_ac_factorization) {
-    // Cross-trial vectorization (stat_equiv): trials fan in fixed-size
-    // blocks and each block owns one AC workspace, so the complex pivot
-    // order carries across that block's structurally identical sweeps.
-    // The fixed block size is part of the determinism contract — the
-    // workspace history trial i sees depends only on i's position within
-    // its block, never on --jobs or execution order.
-    constexpr std::size_t kBlock = 8;
-    const auto nt = static_cast<std::size_t>(config.trials);
-    const std::size_t nblocks = (nt + kBlock - 1) / kBlock;
-    const auto blocks = pool.map<std::vector<McTrial>>(
-        nblocks, [&](std::size_t b) {
-          linalg::LuFactor<std::complex<double>> workspace;
-          McConfig block_cfg = config;
-          block_cfg.characterize.ac_workspace = &workspace;
-          std::vector<McTrial> out;
-          const std::size_t hi = std::min(nt, (b + 1) * kBlock);
-          for (std::size_t i = b * kBlock; i < hi; ++i)
-            out.push_back(
-                run_mc_trial(block_cfg, static_cast<int>(i), criteria));
-          return out;
-        });
-    for (const auto& block : blocks)
-      result.trials.insert(result.trials.end(), block.begin(), block.end());
-  } else {
-    result.trials = pool.map<McTrial>(
-        static_cast<std::size_t>(config.trials),
-        [&](std::size_t i) {
-          return run_mc_trial(config, static_cast<int>(i), criteria);
-        });
+
+  // One task = one trial, or one fixed-size block of trials under
+  // cross-trial vectorization (stat_equiv): each block owns one AC
+  // workspace, so the complex pivot order carries across that block's
+  // structurally identical sweeps. The fixed block size is part of the
+  // determinism contract — the workspace history trial i sees depends only
+  // on i's position within its block, never on --jobs or execution order —
+  // and it is therefore also the checkpoint granularity: a shard holds a
+  // whole block, so a resumed trial never sees a different workspace
+  // history than an uninterrupted one.
+  constexpr std::size_t kBlock = 8;
+  const bool blocked = config.characterize.reuse_ac_factorization;
+  const std::size_t chunk = blocked ? kBlock : 1;
+  const auto nt = static_cast<std::size_t>(std::max(config.trials, 0));
+  const std::size_t ntasks = (nt + chunk - 1) / chunk;
+
+  std::unique_ptr<base::CheckpointStore> ckpt;
+  if (!opts.checkpoint_dir.empty() && ntasks > 0)
+    ckpt = std::make_unique<base::CheckpointStore>(
+        opts.checkpoint_dir, opts.run_tag,
+        base::content_hash(mc_content_key(config, opts.run_tag)), ntasks,
+        opts.resume);
+
+  std::vector<std::vector<McTrial>> chunks(ntasks);
+  const auto run_task = [&](std::size_t b) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(nt, lo + chunk);
+    if (ckpt != nullptr && ckpt->completed(b)) {
+      try {
+        chunks[b] = shard_to_trials(ckpt->payload(b), lo, hi);
+        return;
+      } catch (const std::exception&) {
+        // Unreadable or mismatched shard: fall through and recompute.
+      }
+    }
+    linalg::LuFactor<std::complex<double>> workspace;
+    McConfig task_cfg = config;
+    if (blocked) task_cfg.characterize.ac_workspace = &workspace;
+    std::vector<McTrial> trials;
+    trials.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i)
+      trials.push_back(run_mc_trial(task_cfg, static_cast<int>(i), criteria));
+    // Attempt accounting: retries re-run the whole task, so every trial of
+    // the task shares the attempt index of the run that finally succeeded.
+    for (McTrial& t : trials) t.attempts = base::faults::current_attempt() + 1;
+    if (ckpt != nullptr) ckpt->record(b, trials_to_shard(trials));
+    chunks[b] = std::move(trials);
+  };
+  const std::vector<base::TaskFailure> failures =
+      pool.for_each_tolerant(ntasks, run_task, opts.policy);
+
+  // Quarantined tasks become placeholder trials: never characterized,
+  // judged as no-converge yield failures, carrying the structured failure
+  // record (attempts + reason). They are *not* checkpointed — a resumed
+  // run re-attempts them.
+  for (const base::TaskFailure& f : failures) {
+    const std::size_t lo = f.index * chunk;
+    const std::size_t hi = std::min(nt, lo + chunk);
+    std::vector<McTrial> placeholders;
+    placeholders.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      McTrial t;
+      t.index = static_cast<int>(i);
+      t.seed = base::derive_seed(config.seed, i);
+      t.corner = trial_corner(config, t.seed);
+      t.converged = false;
+      t.quarantined = true;
+      t.attempts = f.attempts;
+      t.failure_reason = f.reason;
+      judge_trial(&t, result.criteria);
+      placeholders.push_back(std::move(t));
+    }
+    chunks[f.index] = std::move(placeholders);
   }
+
+  result.trials.reserve(nt);
+  for (auto& c : chunks)
+    result.trials.insert(result.trials.end(),
+                         std::make_move_iterator(c.begin()),
+                         std::make_move_iterator(c.end()));
 
   McSummary& s = result.summary;
   s.trials = static_cast<int>(result.trials.size());
@@ -219,6 +415,7 @@ McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
     if (t.violations & kViolBandwidth) ++s.fail_bandwidth;
     if (t.violations & kViolGain) ++s.fail_gain;
     if (t.violations & kViolNoConverge) ++s.fail_no_converge;
+    if (t.quarantined) ++s.quarantined;
     if (!t.converged) continue;
     gain.push_back(t.dc_gain_db);
     f1.push_back(t.f_pole1);
@@ -241,11 +438,26 @@ McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
   return result;
 }
 
+namespace {
+
+// Failure reasons land in a one-row-per-trial CSV: anything that would
+// break the row structure (separators, line breaks, quotes) is folded to
+// ';' rather than quoted, keeping the format trivially parseable.
+std::string csv_safe(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    if (c == ',' || c == '\n' || c == '\r' || c == '"') c = ';';
+  return out;
+}
+
+}  // namespace
+
 std::string trials_to_csv(const std::vector<McTrial>& trials) {
   std::string out =
       "trial,seed,corner,vdd,temp_c,converged,dc_gain_db,f_pole1_hz,"
       "f_pole2_hz,unity_gain_hz,input_linear_range_v,slew_rate_vps,"
-      "fit_rms_error_db,ber,violations,pass\n";
+      "fit_rms_error_db,ber,violations,pass,attempts,quarantined,"
+      "failure_reason\n";
   for (const McTrial& t : trials) {
     out += std::to_string(t.index) + ',' + std::to_string(t.seed) + ',';
     out += spice::to_string(t.corner.process);
@@ -255,7 +467,9 @@ std::string trials_to_csv(const std::vector<McTrial>& trials) {
            ',' + g17(t.unity_gain_freq) + ',' + g17(t.input_linear_range) +
            ',' + g17(t.slew_rate) + ',' + g17(t.fit_rms_error_db) + ',' +
            g17(t.ber) + ',';
-    out += std::to_string(t.violations) + ',' + (t.pass ? "1" : "0") + '\n';
+    out += std::to_string(t.violations) + ',' + (t.pass ? "1," : "0,");
+    out += std::to_string(t.attempts) + ',' + (t.quarantined ? "1," : "0,");
+    out += csv_safe(t.failure_reason) + '\n';
   }
   return out;
 }
@@ -298,7 +512,8 @@ std::string summary_to_json(const McResult& result) {
   out += "    \"slew_rate\": " + std::to_string(s.fail_slew_rate) + ",\n";
   out += "    \"bandwidth\": " + std::to_string(s.fail_bandwidth) + ",\n";
   out += "    \"gain\": " + std::to_string(s.fail_gain) + ",\n";
-  out += "    \"no_converge\": " + std::to_string(s.fail_no_converge) + "\n";
+  out += "    \"no_converge\": " + std::to_string(s.fail_no_converge) + ",\n";
+  out += "    \"quarantined\": " + std::to_string(s.quarantined) + "\n";
   out += "  },\n";
   out += "  \"parameters\": {\n";
   out += "    \"dc_gain_db\": " + quantile_json(s.gain_db) + ",\n";

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "base/json.hpp"
 #include "base/parallel.hpp"
 #include "base/stats.hpp"
 #include "core/characterize.hpp"
@@ -128,6 +129,14 @@ struct McTrial {
   double ber = -1.0;            ///< behavioral BER (-1 when disabled)
   unsigned violations = 0;      ///< McViolation bitmask
   bool pass = false;            ///< violations == 0
+  /// Why the trial failed ("" when it converged): the characterization
+  /// exception's what(), or the quarantine reason when the whole task
+  /// exhausted its retries.
+  std::string failure_reason;
+  int attempts = 1;             ///< task executions this trial saw (retries + 1)
+  /// True when the trial's task failed even after retries: the trial was
+  /// never characterized and is counted as a no-converge yield failure.
+  bool quarantined = false;
 };
 
 /// Aggregate yield statistics over a trial set.
@@ -141,6 +150,9 @@ struct McSummary {
   int fail_bandwidth = 0;
   int fail_gain = 0;
   int fail_no_converge = 0;
+  /// Trials whose task failed even after retries (subset of
+  /// fail_no_converge — quarantined work still counts against yield).
+  int quarantined = 0;
   /// Parameter distributions over the converged trials.
   base::QuantileSummary gain_db;
   base::QuantileSummary f_pole1_hz;
@@ -159,6 +171,20 @@ struct McResult {
   YieldCriteria criteria;
 };
 
+/// Execution options of run_monte_carlo that do not affect the *values*
+/// of the trials — retry policy and checkpoint/resume plumbing. Retries
+/// re-run the same task seed; checkpoints shard completed task results so
+/// a resumed run reproduces the uninterrupted artifacts byte-for-byte.
+struct McRunOptions {
+  base::TaskPolicy policy{};    ///< retry/quarantine policy per task
+  std::string checkpoint_dir;   ///< "" disables checkpointing
+  bool resume = false;          ///< load completed shards from checkpoint_dir
+  /// Run identity folded into the checkpoint content key (conventionally
+  /// "scenario|scale|tier") so checkpoints of different scenarios or tiers
+  /// never mix even when their McConfig happens to coincide.
+  std::string run_tag;
+};
+
 /// Applies the violation bitmask / pass flag of one characterized trial.
 void judge_trial(McTrial* trial, const YieldCriteria& criteria);
 
@@ -173,8 +199,20 @@ McTrial run_mc_trial(const McConfig& config, int index,
 
 /// Fans `config.trials` trials over `pool` and aggregates the summary.
 /// Bit-identical for any pool size (each trial depends only on its index).
+/// With `opts`, tasks that fail after retries are quarantined into
+/// placeholder trials (kViolNoConverge, quarantined = true) instead of
+/// aborting the sweep, and completed tasks are checkpointed/resumed via
+/// base::CheckpointStore so an interrupted + resumed run emits artifacts
+/// byte-identical to an uninterrupted one.
 McResult run_monte_carlo(const McConfig& config, const YieldCriteria& criteria,
-                         const base::ParallelRunner& pool);
+                         const base::ParallelRunner& pool,
+                         const McRunOptions& opts = {});
+
+/// JSON round-trip of one trial (used by the checkpoint shards). Seeds are
+/// serialized as hex strings — JSON numbers are doubles and would corrupt
+/// 64-bit seeds above 2^53.
+base::JsonValue trial_to_json(const McTrial& trial);
+McTrial trial_from_json(const base::JsonValue& v);
 
 /// Renders the per-trial CSV table (one row per trial, %.17g values — the
 /// artifact the CI determinism gate byte-compares across --jobs).

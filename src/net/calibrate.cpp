@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
+#include "base/faults.hpp"
 #include "base/random.hpp"
 #include "base/stats.hpp"
 
@@ -49,6 +51,23 @@ CellFit fit_cell(const std::vector<uwb::TwrIteration>& its, double range_m,
   return f;
 }
 
+// Fans `n` exchanges tolerantly over `pool` (a local serial runner when
+// null, so the serial path shares the retry/quarantine semantics). A task
+// that still fails after retries keeps its default TwrIteration — ok stays
+// false, so quarantined work feeds the failure-rate statistics honestly
+// instead of vanishing.
+std::vector<uwb::TwrIteration> run_exchanges(
+    const base::ParallelRunner* pool, std::size_t n,
+    const std::function<uwb::TwrIteration(std::size_t)>& run_task,
+    int* quarantined) {
+  const base::ParallelRunner serial(1);
+  const base::ParallelRunner& runner = pool != nullptr ? *pool : serial;
+  std::vector<base::TaskFailure> failures;
+  auto flat = runner.map_tolerant<uwb::TwrIteration>(n, run_task, &failures);
+  if (quarantined != nullptr) *quarantined = static_cast<int>(failures.size());
+  return flat;
+}
+
 }  // namespace
 
 uwb::TwrIteration run_calibration_exchange(const CalibrationConfig& cfg,
@@ -73,12 +92,17 @@ uwb::TwrIteration run_calibration_exchange(const CalibrationConfig& cfg,
       base::derive_seed(base::derive_seed(cfg.seed, purpose),
                         static_cast<std::uint64_t>(cell_index)),
       static_cast<std::uint64_t>(sample));
+  // Fault site: a simulated calibration-exchange failure, keyed by the
+  // exchange seed (a pure function of seed/purpose/cell/sample, so the
+  // same plan fails the same exchanges for any --jobs value).
+  base::faults::check("net.calibrate", twr.sys.seed);
   return uwb::run_twr_exchange(twr, fact, 0);
 }
 
 SurrogateTable calibrate_surrogate(const CalibrationConfig& cfg,
                                    const uwb::IntegratorFactory& fact,
-                                   const base::ParallelRunner* pool) {
+                                   const base::ParallelRunner* pool,
+                                   int* quarantined) {
   if (cfg.samples_per_cell < 2)
     throw std::invalid_argument(
         "calibrate_surrogate: need >= 2 samples per cell");
@@ -93,14 +117,8 @@ SurrogateTable calibrate_surrogate(const CalibrationConfig& cfg,
                                     static_cast<int>(t % n_samples),
                                     kCalibratePurpose, fact);
   };
-  std::vector<uwb::TwrIteration> flat;
-  if (pool != nullptr) {
-    flat = pool->map<uwb::TwrIteration>(cells * n_samples, run_task);
-  } else {
-    flat.reserve(cells * n_samples);
-    for (std::size_t t = 0; t < cells * n_samples; ++t)
-      flat.push_back(run_task(t));
-  }
+  const std::vector<uwb::TwrIteration> flat =
+      run_exchanges(pool, cells * n_samples, run_task, quarantined);
 
   for (std::size_t c = 0; c < cells; ++c) {
     const std::vector<uwb::TwrIteration> its(
@@ -142,16 +160,12 @@ ValidationReport validate_surrogate(const SurrogateTable& table,
                                     static_cast<int>(t % n_samples),
                                     kValidatePurpose, fact);
   };
-  std::vector<uwb::TwrIteration> flat;
-  if (pool != nullptr) {
-    flat = pool->map<uwb::TwrIteration>(cells * n_samples, run_task);
-  } else {
-    flat.reserve(cells * n_samples);
-    for (std::size_t t = 0; t < cells * n_samples; ++t)
-      flat.push_back(run_task(t));
-  }
+  int quarantined = 0;
+  const std::vector<uwb::TwrIteration> flat =
+      run_exchanges(pool, cells * n_samples, run_task, &quarantined);
 
   ValidationReport report;
+  report.quarantined = quarantined;
   for (std::size_t c = 0; c < cells; ++c) {
     const std::vector<uwb::TwrIteration> its(
         flat.begin() + static_cast<std::ptrdiff_t>(c * n_samples),

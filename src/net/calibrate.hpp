@@ -67,9 +67,13 @@ inline constexpr std::uint64_t kValidatePurpose = 0x6e76616cULL;   // "nval"
 
 /// Runs samples_per_cell exchanges per cell (fanned over `pool` when
 /// given; bit-identical for any job count) and fits the surrogate table.
+/// Exchanges run tolerantly: one that still fails after retries is
+/// quarantined as a non-acquisition (it feeds the cell's p_fail honestly)
+/// and counted into *quarantined when non-null.
 SurrogateTable calibrate_surrogate(const CalibrationConfig& cfg,
                                    const uwb::IntegratorFactory& fact,
-                                   const base::ParallelRunner* pool = nullptr);
+                                   const base::ParallelRunner* pool = nullptr,
+                                   int* quarantined = nullptr);
 
 /// Held-out comparison of one cell. `checked` is false when either side
 /// has too few successful exchanges for the bounds to mean anything (the
@@ -96,8 +100,9 @@ struct CellValidation {
 
 struct ValidationReport {
   std::vector<CellValidation> cells;
-  int checked = 0;  ///< cells with enough samples to judge
-  int passed = 0;   ///< checked cells inside every bound
+  int checked = 0;      ///< cells with enough samples to judge
+  int passed = 0;       ///< checked cells inside every bound
+  int quarantined = 0;  ///< held-out exchanges that failed after retries
   bool pass() const { return checked > 0 && passed == checked; }
 };
 

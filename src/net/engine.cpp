@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "base/faults.hpp"
 #include "base/random.hpp"
 #include "base/stats.hpp"
 
@@ -216,6 +217,13 @@ void NetScaleEngine::refresh_bias(int round) {
 }
 
 TagRound NetScaleEngine::measure_tag(int round, int tag) const {
+  // Fault site: a simulated per-tag measurement failure, keyed by the
+  // (round, tag) measurement seed so the same plan fails the same tags for
+  // any --jobs value.
+  base::faults::check("netscale.measure",
+                      chain(cfg_.seed, kMeasurePurpose,
+                            static_cast<std::uint64_t>(round),
+                            static_cast<std::uint64_t>(tag)));
   TagRound out;
   const uwb::NodePosition pos = tags_[static_cast<std::size_t>(tag)];
   out.true_x = pos.x;
@@ -490,18 +498,28 @@ NetScaleResult NetScaleEngine::run(const base::ParallelRunner* pool) {
         const auto task = [&](std::size_t t) {
           return measure_tag(round, static_cast<int>(t));
         };
-        std::vector<TagRound> rows;
-        if (pool != nullptr) {
-          rows = pool->map<TagRound>(n_tags, task);
-        } else {
-          rows.reserve(n_tags);
-          for (std::size_t t = 0; t < n_tags; ++t) rows.push_back(task(t));
+        // Tolerant fan-out (a local serial runner when no pool is given,
+        // so both paths share the retry/quarantine semantics): a tag whose
+        // task still fails after retries keeps an unsolved placeholder row
+        // with its true position, and is counted as quarantined.
+        const base::ParallelRunner serial(1);
+        const base::ParallelRunner& runner = pool != nullptr ? *pool : serial;
+        std::vector<base::TaskFailure> failures;
+        std::vector<TagRound> rows =
+            runner.map_tolerant<TagRound>(n_tags, task, &failures);
+        for (const base::TaskFailure& f : failures) {
+          TagRound placeholder;
+          placeholder.true_x = tags_[f.index].x;
+          placeholder.true_y = tags_[f.index].y;
+          rows[f.index] = placeholder;
         }
 
         RoundStats st;
         st.round = round;
         st.time_s = ev.t;
         st.bias_est_m = bias_est_;
+        st.tags_quarantined = failures.size();
+        result.quarantined += st.tags_quarantined;
         st.anchors_dark = static_cast<int>(
             std::count(anchor_dark_.begin(), anchor_dark_.end(), true));
         base::RunningStats err2;

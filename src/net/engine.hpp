@@ -113,6 +113,9 @@ struct RoundStats {
   double bias_est_m = 0.0;  ///< residual common bias subtracted this round
                             ///< (on top of the per-cell calibrated bias)
   std::uint64_t toa_draws = 0, toa_failures = 0, packets_lost = 0;
+  /// Tags whose measure+solve task failed even after retries this round:
+  /// kept as unsolved rows (true position only), never dropped silently.
+  std::uint64_t tags_quarantined = 0;
 };
 
 struct NetScaleResult {
@@ -122,6 +125,7 @@ struct NetScaleResult {
   double overall_rmse_m = 0.0;
   double overall_availability = 0.0;
   std::uint64_t total_draws = 0;
+  std::uint64_t quarantined = 0;  ///< sum of tags_quarantined over rounds
 };
 
 class NetScaleEngine {

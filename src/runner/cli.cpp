@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "base/faults.hpp"
 #include "core/equiv.hpp"
 #include "runner/parallel.hpp"
 #include "runner/registry.hpp"
@@ -38,6 +41,14 @@ constexpr const char* kUsage =
     "  --jobs=N          worker threads for sweeps (0 = all cores)\n"
     "  --seed=N          base seed for the scenario's sweeps\n"
     "  --out=DIR         write CSV/JSON artifacts under DIR/<scenario>/\n"
+    "  --fault-plan=FILE deterministic fault-injection plan (JSON; see\n"
+    "                    docs/robustness.md). UWBAMS_FAULT_PLAN is the env\n"
+    "                    fallback when the flag is absent.\n"
+    "  --checkpoint=DIR  shard completed sweep tasks under\n"
+    "                    DIR/<scenario>/ so an interrupted run can resume\n"
+    "  --resume          load completed shards from --checkpoint instead of\n"
+    "                    recomputing them (rejects a stale checkpoint)\n"
+    "  --retries=N       task re-runs before quarantine (default 1)\n"
     "  --help            this text\n"
     "\n"
     "The UWBAMS_FAST / UWBAMS_FULL environment variables are still honored\n"
@@ -163,6 +174,30 @@ bool parse_cli(int argc, const char* const* argv, CliOptions* out) {
     } else if ((m = match_value_flag(argv, argc, &i, "--out", &value)) != 0) {
       if (m < 0) return false;
       out->out_dir = value;
+    } else if ((m = match_value_flag(argv, argc, &i, "--fault-plan",
+                                     &value)) != 0) {
+      if (m < 0) return false;
+      out->fault_plan = value;
+    } else if ((m = match_value_flag(argv, argc, &i, "--checkpoint",
+                                     &value)) != 0) {
+      if (m < 0) return false;
+      out->checkpoint = value;
+    } else if (arg == "--resume") {
+      out->resume = true;
+    } else if ((m = match_value_flag(argv, argc, &i, "--retries", &value)) !=
+               0) {
+      if (m < 0) return false;
+      try {
+        out->retries = std::stoi(value);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "uwbams_run: bad --retries '%s': %s\n",
+                     value.c_str(), e.what());
+        return false;
+      }
+      if (out->retries < 0) {
+        std::fprintf(stderr, "uwbams_run: --retries must be >= 0\n");
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "uwbams_run: unknown option '%s'\n%s", arg.c_str(),
                    kUsage);
@@ -241,6 +276,33 @@ int run_cli(int argc, const char* const* argv) {
     return 2;
   }
 
+  if (opt.resume && opt.checkpoint.empty()) {
+    std::fprintf(stderr, "uwbams_run: --resume needs --checkpoint=DIR\n");
+    return 2;
+  }
+
+  // Deterministic fault injection: --fault-plan, then the UWBAMS_FAULT_PLAN
+  // env fallback. A malformed plan is a usage error, not a quarantined run.
+  std::string plan_path = opt.fault_plan;
+  if (plan_path.empty()) {
+    if (const char* env = std::getenv("UWBAMS_FAULT_PLAN");
+        env != nullptr && env[0] != '\0')
+      plan_path = env;
+  }
+  if (!plan_path.empty()) {
+    std::string plan_text;
+    if (!read_file(plan_path, &plan_text)) return 2;
+    try {
+      base::faults::install(base::FaultPlan::from_json(plan_text));
+      std::fprintf(stderr, "uwbams_run: fault plan '%s' active\n",
+                   plan_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "uwbams_run: bad fault plan '%s': %s\n",
+                   plan_path.c_str(), e.what());
+      return 2;
+    }
+  }
+
   ParallelRunner pool(opt.jobs);
   int failures = 0;
   for (const Scenario* s : selected) {
@@ -250,9 +312,18 @@ int run_cli(int argc, const char* const* argv) {
     std::fflush(stdout);
 
     ResultSink sink(s->info.name, opt.out_dir);
+    base::TaskPolicy policy;
+    policy.max_retries = opt.retries;
+    // Each scenario checkpoints under its own subdirectory so one --all run
+    // can checkpoint several scenarios without mixing shards.
+    const std::string ckpt_dir =
+        opt.checkpoint.empty()
+            ? std::string()
+            : (std::filesystem::path(opt.checkpoint) / s->info.name).string();
     RunContext ctx{s->info.name, opt.scale, pool.jobs(),
                    opt.seed,      sink,      pool,
-                   opt.tier};
+                   opt.tier,      policy,    ckpt_dir,
+                   opt.resume};
     const auto engine0 = spice::engine_counters::snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     int status = 0;

@@ -36,6 +36,10 @@ struct CliOptions {
   int jobs = 1;                  // 0 = hardware concurrency
   std::uint64_t seed = 1;
   std::string out_dir;           // empty = stdout only
+  std::string fault_plan;        // JSON fault plan (also UWBAMS_FAULT_PLAN)
+  std::string checkpoint;        // checkpoint root; "" disables
+  bool resume = false;           // resume from --checkpoint
+  int retries = 1;               // task retries before quarantine
   std::vector<std::string> scenarios;  // or the two files of --equiv-check
 };
 

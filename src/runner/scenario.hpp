@@ -175,6 +175,12 @@ struct RunContext {
   ResultSink& sink;
   ParallelRunner& pool;
   core::ExactnessTier tier = core::ExactnessTier::kBitExact;
+  // Fault-tolerant execution (PR 8): retry/quarantine policy for the
+  // scenario's tolerant sweeps, plus the per-scenario checkpoint directory
+  // ("" disables checkpointing) and whether to resume from it.
+  base::TaskPolicy policy{};
+  std::string checkpoint_dir{};
+  bool resume = false;
 
   template <typename T>
   T pick(T fast, T def, T full) const {

@@ -7,6 +7,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "base/faults.hpp"
+
 namespace uwbams::runner {
 
 namespace {
@@ -77,6 +79,9 @@ void ResultSink::write_artifact(const std::string& artifact,
   std::filesystem::create_directories(d);
   const std::string filename =
       artifact.find('.') == std::string::npos ? artifact + ext : artifact;
+  // Fault site: a simulated artifact-write failure, keyed by the target
+  // filename (deterministic for any --jobs value or write order).
+  base::faults::check("sink.write", base::fnv1a64(filename));
   const std::filesystem::path path = d / filename;
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write artifact: " + path.string());

@@ -85,7 +85,8 @@ void calibrate_gain(GenieLink& link, double fraction) {
 }  // namespace
 
 std::vector<BerPoint> run_ber_sweep(const BerConfig& config,
-                                    const IntegratorFactory& make_integrator) {
+                                    const IntegratorFactory& make_integrator,
+                                    int* quarantined) {
   const GaussianMonocycle pulse(2, config.sys.pulse_sigma,
                                 config.rx_pulse_peak);
   // Per-symbol energy: the whole burst carries one bit.
@@ -127,15 +128,20 @@ std::vector<BerPoint> run_ber_sweep(const BerConfig& config,
   };
 
   const std::size_t n = config.ebn0_db.size();
-  if (config.jobs <= 1 || n <= 1) {
-    std::vector<BerPoint> points;
-    points.reserve(n);
-    for (double ebn0_db : config.ebn0_db) points.push_back(run_point(ebn0_db));
-    return points;
+  // Serial and fanned runs share the tolerant pool path (a 1-job runner
+  // executes inline): a point whose task fails even after retries becomes
+  // a quarantined zero-bit placeholder instead of killing the sweep.
+  const base::ParallelRunner pool(config.jobs <= 1 ? 1 : config.jobs);
+  std::vector<base::TaskFailure> failures;
+  auto points = pool.map_tolerant<BerPoint>(
+      n, [&](std::size_t i) { return run_point(config.ebn0_db[i]); },
+      &failures);
+  for (const base::TaskFailure& f : failures) {
+    points[f.index].ebn0_db = config.ebn0_db[f.index];
+    points[f.index].quarantined = true;
   }
-  base::ParallelRunner pool(config.jobs);
-  return pool.map<BerPoint>(
-      n, [&](std::size_t i) { return run_point(config.ebn0_db[i]); });
+  if (quarantined != nullptr) *quarantined = static_cast<int>(failures.size());
+  return points;
 }
 
 double energy_detection_ber_theory(double ebn0_db, double tw_product) {

@@ -55,12 +55,19 @@ struct BerPoint {
   std::uint64_t bits = 0;
   std::uint64_t errors = 0;
   double half_width_95 = 0.0;  ///< Wilson interval half width
+  /// The point's task failed even after retries: a zero-bit placeholder
+  /// kept in the curve so quarantined work is visible, never silent.
+  bool quarantined = false;
 };
 
 /// Monte-Carlo sweep of the full analog/digital chain with the given
-/// integrator fidelity.
+/// integrator fidelity. Runs on the fault-tolerant pool path: a point
+/// whose task fails even after retries is returned as a quarantined
+/// placeholder (and counted into *quarantined when non-null) instead of
+/// aborting the sweep.
 std::vector<BerPoint> run_ber_sweep(const BerConfig& config,
-                                    const IntegratorFactory& make_integrator);
+                                    const IntegratorFactory& make_integrator,
+                                    int* quarantined = nullptr);
 
 /// Semi-analytic 2-PPM energy-detection BER (Gaussian approximation of the
 /// chi-square statistics):  Pe = Q( r / sqrt(2 r + 2 M) ),  r = Eb/N0,

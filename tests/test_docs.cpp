@@ -155,6 +155,34 @@ TEST(Docs, MethodologyPageCoversExactnessTiers) {
   }
 }
 
+// The fault-tolerance contract (robustness.md) must keep covering the
+// vocabulary a reader needs to drive the layer: the four CLI flags and
+// the env fallback, every fault-plan probe site (closed vocabulary, both
+// directions checked by tests/test_faults.cpp), the retry-shape knob,
+// the checkpoint journal files and identity key, and the inspection
+// tool. The catalog's conventions must point readers at the page.
+TEST(Docs, RobustnessPageCoversFaultTolerance) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/robustness.md");
+  ASSERT_FALSE(text.empty()) << "docs/robustness.md is missing";
+  for (const char* needle :
+       {"--fault-plan", "UWBAMS_FAULT_PLAN", "--checkpoint", "--resume",
+        "--retries", "runner.task", "spice.nonconverge", "sink.write",
+        "net.calibrate", "netscale.measure", "checkpoint.shard",
+        "fail_attempts", "quarantine", "manifest.json", "content_key",
+        "byte-identical", "tools/inspect_checkpoint.sh"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "docs/robustness.md does not mention '" << needle << "'";
+  }
+  const std::string catalog =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(catalog.empty());
+  for (const char* needle : {"robustness.md", "--retries", "--checkpoint"}) {
+    EXPECT_NE(catalog.find(needle), std::string::npos)
+        << "docs/scenarios.md does not mention '" << needle << "'";
+  }
+}
+
 // Every scenario the catalog documents must also appear in the
 // characterization walk-through's command blocks or the paper map when it
 // reproduces a paper artifact; at minimum the three statistical scenarios

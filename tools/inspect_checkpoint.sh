@@ -1,0 +1,81 @@
+#!/bin/sh
+# Prints the completion status of a checkpoint directory written by
+# `uwbams_run --checkpoint=DIR` (one subdirectory per scenario; see
+# docs/robustness.md for the journal layout).
+#
+# For each checkpoint found: the manifest identity (schema, run tag,
+# content key, task count), how many shards completed, and which task
+# indices are still missing — including torn `.tmp` shards a killed run
+# left behind (those are recomputed on resume).
+#
+# Usage:  tools/inspect_checkpoint.sh DIR
+#         where DIR is the --checkpoint root or a single scenario's
+#         checkpoint directory (contains manifest.json).
+set -eu
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 CHECKPOINT_DIR" >&2
+  exit 2
+fi
+root=$1
+[ -d "$root" ] || { echo "$0: no such directory: $root" >&2; exit 2; }
+
+# Pulls the value of a string/number field out of the one-object manifest.
+manifest_field() {
+  sed -n "s/^[[:space:]]*\"$2\":[[:space:]]*\"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" \
+    "$1" | head -n 1
+}
+
+inspect_one() {
+  dir=$1
+  manifest="$dir/manifest.json"
+  schema=$(manifest_field "$manifest" schema)
+  run=$(manifest_field "$manifest" run)
+  key=$(manifest_field "$manifest" content_key)
+  total=$(manifest_field "$manifest" total_tasks)
+  case $total in
+    *.*) total=${total%%.*} ;;  # JSON numbers may render as "8.0"
+  esac
+  echo "$dir"
+  echo "  schema:      ${schema:-<missing>}"
+  echo "  run:         ${run:-<missing>}"
+  echo "  content_key: ${key:-<missing>}"
+
+  done_count=0
+  torn_count=0
+  missing=""
+  i=0
+  while [ "$i" -lt "${total:-0}" ]; do
+    shard=$(printf 'shard_%06d.json' "$i")
+    if [ -f "$dir/$shard" ]; then
+      done_count=$((done_count + 1))
+    else
+      [ -f "$dir/$shard.tmp" ] && torn_count=$((torn_count + 1))
+      missing="$missing $i"
+    fi
+    i=$((i + 1))
+  done
+  echo "  shards:      $done_count/${total:-?} completed" \
+       "($torn_count torn .tmp left by a kill)"
+  if [ -n "$missing" ]; then
+    echo "  to compute: $missing"
+  else
+    echo "  to compute:  none — resume loads every task"
+  fi
+}
+
+found=0
+if [ -f "$root/manifest.json" ]; then
+  inspect_one "$root"
+  found=1
+else
+  for dir in "$root"/*/; do
+    [ -f "$dir/manifest.json" ] || continue
+    inspect_one "${dir%/}"
+    found=1
+  done
+fi
+if [ "$found" -eq 0 ]; then
+  echo "$0: no manifest.json under $root — not a checkpoint directory" >&2
+  exit 1
+fi
