@@ -10,6 +10,7 @@
 #include "base/table.hpp"
 #include "base/units.hpp"
 #include "core/characterize.hpp"
+#include "core/memo.hpp"
 #include "runner/runner.hpp"
 #include "uwb/integrator.hpp"
 
@@ -37,7 +38,7 @@ double integrate_value(uwb::IntegrateAndDump& itd, double& input, double vin,
 
 REGISTER_SCENARIO(model_order, "ablation",
                   "A2 — Phase-IV model order vs ELDO integration error") {
-  const auto ch = core::characterize_itd();
+  const auto ch = core::memo::characterize_itd_cached();
   const auto cal = core::to_behavioral_params(ch, false);
   auto cal_clamp = core::to_behavioral_params(ch, true);
 

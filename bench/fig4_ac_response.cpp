@@ -9,13 +9,14 @@
 #include "base/table.hpp"
 #include "base/units.hpp"
 #include "core/characterize.hpp"
+#include "core/memo.hpp"
 #include "runner/runner.hpp"
 
 using namespace uwbams;
 
 REGISTER_SCENARIO(fig4_ac, "bench",
                   "Fig. 4 — Integrate & Dump AC response + two-pole fit") {
-  const auto ch = core::characterize_itd();
+  const auto ch = core::memo::characterize_itd_cached();
 
   base::Series series("Fig 4. |H(f)| of the I&D cell", "freq_hz");
   series.add_column("spice_mag_db");

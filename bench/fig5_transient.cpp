@@ -11,6 +11,7 @@
 #include "base/trace.hpp"
 #include "core/block_variant.hpp"
 #include "core/characterize.hpp"
+#include "core/memo.hpp"
 #include "runner/runner.hpp"
 #include "uwb/integrator.hpp"
 
@@ -45,7 +46,7 @@ base::Trace run_cycle(uwb::IntegrateAndDump& itd, double& input,
 REGISTER_SCENARIO(fig5_transient, "bench",
                   "Fig. 5 — integrate/hold/dump transients at 3 fidelities") {
   // Phase IV model calibrated from the netlist (the paper's flow).
-  const auto ch = core::characterize_itd();
+  const auto ch = core::memo::characterize_itd_cached();
   const auto cal = core::to_behavioral_params(ch, /*with_clamp=*/false);
   uwb::SystemConfig sys = ctx.spec().system();
 

@@ -26,6 +26,7 @@
 #include "base/table.hpp"
 #include "core/block_variant.hpp"
 #include "core/equiv.hpp"
+#include "core/memo.hpp"
 #include "core/montecarlo.hpp"
 #include "runner/runner.hpp"
 #include "uwb/ber.hpp"
@@ -117,7 +118,7 @@ REGISTER_SCENARIO_TIERS(mc_itd, "mc",
   // default config), not the genie BER link.
   const auto constraints = core::extract_constraints(
       uwb::SystemConfig{}, ctx.pick(20, 100, 100), ctx.seed + 41);
-  const auto nominal = core::characterize_itd(cfg.sizing);
+  const auto nominal = core::memo::characterize_itd_cached(cfg.sizing);
   const auto criteria = core::YieldCriteria::from_constraints(constraints, nominal);
 
   ctx.sink.notef("%d mismatch trials at TT 1.80 V / 27 C (sigma x%.1f), "
@@ -280,7 +281,7 @@ REGISTER_SCENARIO_TIERS(yield_report, "mc",
 
   const auto constraints = core::extract_constraints(
       uwb::SystemConfig{}, ctx.pick(20, 100, 100), ctx.seed + 41);
-  const auto nominal = core::characterize_itd(cfg.sizing);
+  const auto nominal = core::memo::characterize_itd_cached(cfg.sizing);
   const auto criteria =
       core::YieldCriteria::from_constraints(constraints, nominal);
 

@@ -32,6 +32,7 @@
 #include "net/calibrate.hpp"
 #include "net/engine.hpp"
 #include "net/surrogate.hpp"
+#include "net/surrogate_cache.hpp"
 #include "runner/runner.hpp"
 
 using namespace uwbams;
@@ -53,9 +54,11 @@ net::CalibrationConfig engine_calibration(const runner::RunContext& ctx) {
   return cal;
 }
 
-// The surrogate powering the network engine: the UWBAMS_SURROGATE
-// environment variable points at a cached surrogate.json (the surrogate_fit
-// artifact); otherwise a tier-sized calibration runs inline. Both paths are
+// The surrogate powering the network engine, by precedence: the
+// UWBAMS_SURROGATE environment variable points at an explicit surrogate.json
+// (the surrogate_fit artifact, loaded verbatim); else the UWBAMS_CACHE
+// content-addressed store may already hold this exact calibration; else a
+// tier-sized calibration runs inline (and feeds the store). All paths are
 // bit-identical for any --jobs. Returns false on a bad cache file.
 bool load_or_calibrate(const runner::RunContext& ctx, net::SurrogateTable* out,
                        std::string* source) {
@@ -78,20 +81,18 @@ bool load_or_calibrate(const runner::RunContext& ctx, net::SurrogateTable* out,
     return true;
   }
   const auto cal = engine_calibration(ctx);
-  ctx.sink.notef("calibrating surrogate inline: %zu cells x %d samples ...",
+  ctx.sink.notef("calibrating surrogate: %zu cells x %d samples ...",
                  cal.cell_count(), cal.samples_per_cell);
   int quarantined = 0;
-  *out = net::calibrate_surrogate(
-      cal,
-      core::make_integrator_factory(core::IntegratorKind::kIdeal, cal.twr.sys),
-      &ctx.pool, &quarantined);
+  *out = net::load_or_calibrate_surrogate(cal, core::IntegratorKind::kIdeal,
+                                          &ctx.pool, &quarantined, source);
   if (quarantined > 0)
     ctx.sink.notef("%d calibration exchange(s) quarantined after retries "
                    "(counted as acquisition failures)",
                    quarantined);
-  ctx.sink.metric("calibration_quarantined",
-                  static_cast<std::uint64_t>(quarantined));
-  *source = "inline calibration";
+  if (quarantined >= 0)
+    ctx.sink.metric("calibration_quarantined",
+                    static_cast<std::uint64_t>(quarantined));
   return true;
 }
 
@@ -204,8 +205,14 @@ REGISTER_SCENARIO_TIERS(surrogate_fit, "netscale",
                  cal.cell_count(), cal.samples_per_cell, ctx.jobs);
   const auto t0 = std::chrono::steady_clock::now();
   int cal_quarantined = 0;
-  const auto table =
-      net::calibrate_surrogate(cal, fact, &ctx.pool, &cal_quarantined);
+  std::string cal_source;
+  const auto table = net::load_or_calibrate_surrogate(
+      cal, core::IntegratorKind::kIdeal, &ctx.pool, &cal_quarantined,
+      &cal_source);
+  if (cal_quarantined < 0) {  // content-addressed hit: nothing was run
+    ctx.sink.notef("calibration served from %s", cal_source.c_str());
+    cal_quarantined = 0;
+  }
   const double t_cal =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -10,6 +10,7 @@
 #include "base/table.hpp"
 #include "core/block_variant.hpp"
 #include "core/characterize.hpp"
+#include "core/memo.hpp"
 #include "core/experiment.hpp"
 #include "runner/runner.hpp"
 
@@ -42,7 +43,7 @@ REGISTER_SCENARIO(methodology_flow, "example",
 
   // ---- Phase III -> IV: characterize the detailed block.
   ctx.sink.note("[III->IV]   characterizing the netlist (AC fit + ranges)...");
-  const auto ch = core::characterize_itd();
+  const auto ch = core::memo::characterize_itd_cached();
   ctx.sink.notef(
       "            DC gain %.2f dB, poles %.3f MHz / %.2f GHz,\n"
       "            input linear range %.0f mV, slew %.2f V/us\n",

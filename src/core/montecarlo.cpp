@@ -14,6 +14,7 @@
 #include "base/faults.hpp"
 #include "base/random.hpp"
 #include "core/block_variant.hpp"
+#include "core/canonical.hpp"
 #include "uwb/ber.hpp"
 
 namespace uwbams::core {
@@ -290,29 +291,39 @@ std::vector<McTrial> shard_to_trials(const std::string& text, std::size_t lo,
   return out;
 }
 
-// Canonical string of every result-affecting knob of a Monte-Carlo run;
+// Canonical document of every result-affecting knob of a Monte-Carlo run;
 // its content_hash keys the checkpoint so a stale checkpoint (different
 // config, seed, trial count or tier) is rejected instead of silently
-// mixed in. The run_tag ("scenario|scale|tier") covers the knobs that are
-// functions of the scenario identity (sizing, transient profile).
+// mixed in. Schema uwbams.mc/2 (PR 9): built from core/canonical.hpp
+// fragments, so unlike the hand-rolled mc/1 string it covers the full
+// sizing, PVT corner, BER system config and transient engine profile —
+// and folds in canonical::kCodeVersion, invalidating checkpoints across
+// result-affecting code changes. run_tag ("scenario|scale|tier") still
+// pins the scenario identity.
 std::string mc_content_key(const McConfig& config, const std::string& run_tag) {
-  std::string key = "uwbams.mc/1|" + run_tag;
-  key += "|trials=" + std::to_string(config.trials);
-  key += "|seed=" + base::hex_u64(config.seed);
-  key += "|sigma=" + g17(config.sigma_scale);
-  key += "|corner=" + config.corner.label();
-  key += config.sample_corners ? "|sample_corners=1" : "|sample_corners=0";
-  key += config.with_ber ? "|with_ber=1" : "|with_ber=0";
-  key += "|ebn0=" + g17(config.ebn0_db);
-  key += "|bits=" + std::to_string(config.ber_bits);
-  const CharacterizeOptions& ch = config.characterize;
-  key += "|fstart=" + g17(ch.f_start) + "|fstop=" + g17(ch.f_stop);
-  key += "|ppd=" + std::to_string(ch.points_per_decade);
-  key += "|dt=" + g17(ch.dt);
-  key += ch.measure_linear_range ? "|meas_lin=1" : "|meas_lin=0";
-  key += ch.measure_slew ? "|meas_slew=1" : "|meas_slew=0";
-  key += ch.reuse_ac_factorization ? "|reuse_ac=1" : "|reuse_ac=0";
-  return key;
+  base::JsonObject corner;
+  corner["process"] =
+      base::JsonValue(std::string(spice::to_string(config.corner.process)));
+  corner["vdd"] = base::JsonValue(config.corner.vdd);
+  corner["temp_c"] = base::JsonValue(config.corner.temp_c);
+
+  base::JsonObject obj;
+  obj["code_version"] =
+      base::JsonValue(std::string(canonical::kCodeVersion));
+  obj["kind"] = base::JsonValue(std::string("uwbams.mc/2"));
+  obj["run_tag"] = base::JsonValue(run_tag);
+  obj["sizing"] = canonical::to_json(config.sizing);
+  obj["corner"] = base::JsonValue(std::move(corner));
+  obj["trials"] = base::JsonValue(config.trials);
+  obj["seed"] = base::JsonValue(base::hex_u64(config.seed));
+  obj["sigma_scale"] = base::JsonValue(config.sigma_scale);
+  obj["sample_corners"] = base::JsonValue(config.sample_corners);
+  obj["characterize"] = canonical::to_json(config.characterize);
+  obj["with_ber"] = base::JsonValue(config.with_ber);
+  obj["ebn0_db"] = base::JsonValue(config.ebn0_db);
+  obj["ber_bits"] = base::JsonValue(base::hex_u64(config.ber_bits));
+  obj["sys"] = canonical::to_json(config.sys);
+  return base::JsonValue(std::move(obj)).dump(0);
 }
 
 }  // namespace

@@ -1,0 +1,78 @@
+#include "net/surrogate_cache.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "base/json.hpp"
+#include "core/canonical.hpp"
+#include "serve/cache.hpp"
+
+namespace uwbams::net {
+
+namespace {
+
+using base::JsonArray;
+using base::JsonObject;
+using base::JsonValue;
+
+JsonValue axis(const std::vector<double>& values) {
+  JsonArray arr;
+  arr.reserve(values.size());
+  for (double v : values) arr.emplace_back(v);
+  return JsonValue(std::move(arr));
+}
+
+// The UWBAMS_CACHE-backed store, shared across calibrations in-process
+// (the memory level also serves repeat inline calibrations without a
+// cache directory).
+serve::ResultCache& store() {
+  static serve::ResultCache cache([] {
+    const char* dir = std::getenv("UWBAMS_CACHE");
+    return std::string(dir != nullptr ? dir : "");
+  }());
+  return cache;
+}
+
+}  // namespace
+
+std::uint64_t surrogate_content_key(const CalibrationConfig& cfg,
+                                    core::IntegratorKind kind) {
+  JsonObject obj;
+  obj["code_version"] =
+      JsonValue(std::string(core::canonical::kCodeVersion));
+  obj["kind"] = JsonValue(std::string("uwbams-surrogate-cal/1"));
+  obj["integrator"] = JsonValue(std::string(core::to_string(kind)));
+  obj["twr"] = core::canonical::to_json(cfg.twr);
+  obj["ranges_m"] = axis(cfg.ranges_m);
+  obj["noise_psd"] = axis(cfg.noise_psd);
+  obj["dppm"] = axis(cfg.dppm);
+  obj["samples_per_cell"] = JsonValue(cfg.samples_per_cell);
+  obj["outlier_threshold_m"] = JsonValue(cfg.outlier_threshold_m);
+  obj["seed"] = JsonValue(base::hex_u64(cfg.seed));
+  return core::canonical::key_of(JsonValue(std::move(obj)));
+}
+
+SurrogateTable load_or_calibrate_surrogate(const CalibrationConfig& cfg,
+                                           core::IntegratorKind kind,
+                                           const base::ParallelRunner* pool,
+                                           int* quarantined,
+                                           std::string* source) {
+  const std::uint64_t key = surrogate_content_key(cfg, kind);
+  std::string text;
+  if (store().get(key, &text)) {
+    if (quarantined != nullptr) *quarantined = -1;
+    if (source != nullptr)
+      *source = "cache (key " + base::hex_u64(key) + ")";
+    return SurrogateTable::from_json(text);
+  }
+  int quar = 0;
+  SurrogateTable table = calibrate_surrogate(
+      cfg, core::make_integrator_factory(kind, cfg.twr.sys), pool, &quar);
+  store().put(key, table.to_json());
+  if (quarantined != nullptr) *quarantined = quar;
+  if (source != nullptr) *source = "inline calibration";
+  return table;
+}
+
+}  // namespace uwbams::net

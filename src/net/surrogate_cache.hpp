@@ -1,0 +1,47 @@
+/// @file surrogate_cache.hpp
+/// @brief Content-addressed caching of calibrated surrogate tables.
+///
+/// PR 9 makes the surrogate a ResultCache client: when UWBAMS_CACHE names
+/// a directory, a calibration's fitted table is stored under the FNV-1a
+/// key of its canonical {code_version, calibration config, integrator}
+/// document, and an identical later calibration — same grid, samples,
+/// seed, operating point and engine — loads the stored table instead of
+/// re-running the full-physics sweep. The payload is the existing
+/// surrogate.json artifact (schema "uwbams-surrogate-v1"), whose %.17g
+/// rendering round-trips every double exactly, so a cache hit is
+/// bit-identical to the calibration it memoizes.
+///
+/// Precedence at the scenario layer (bench/netscale.cpp):
+///   1. UWBAMS_SURROGATE=file — an explicit table, loaded verbatim
+///      (keyless; the caller vouches for it — CI's cached-surrogate gate);
+///   2. UWBAMS_CACHE=dir     — this content-addressed store;
+///   3. inline calibration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/parallel.hpp"
+#include "core/block_variant.hpp"
+#include "net/calibrate.hpp"
+#include "net/surrogate.hpp"
+
+namespace uwbams::net {
+
+/// Content key of one calibration run: every knob of `cfg` (including the
+/// full TWR operating point) plus the integrator kind, canonical.
+std::uint64_t surrogate_content_key(const CalibrationConfig& cfg,
+                                    core::IntegratorKind kind);
+
+/// calibrate_surrogate with content-addressed memoization. Consults the
+/// UWBAMS_CACHE store (when set) before calibrating and stores a fresh fit
+/// back into it. On a hit, *quarantined (when non-null) is set to -1 —
+/// the calibration did not run, so the count does not exist — and *source
+/// (when non-null) describes where the table came from.
+SurrogateTable load_or_calibrate_surrogate(const CalibrationConfig& cfg,
+                                           core::IntegratorKind kind,
+                                           const base::ParallelRunner* pool,
+                                           int* quarantined = nullptr,
+                                           std::string* source = nullptr);
+
+}  // namespace uwbams::net

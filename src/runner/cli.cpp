@@ -51,8 +51,12 @@ constexpr const char* kUsage =
     "  --retries=N       task re-runs before quarantine (default 1)\n"
     "  --help            this text\n"
     "\n"
-    "The UWBAMS_FAST / UWBAMS_FULL environment variables are still honored\n"
-    "when --scale is absent, but are deprecated.\n";
+    "Server mode (see docs/service.md):\n"
+    "  uwbams_run --serve [--socket=PATH --cache=DIR --jobs=N]\n"
+    "                    run the long-lived scenario server (uwbams_serve)\n"
+    "  uwbams_run --connect=PATH [scenario ...] [--scale --seed --tier\n"
+    "                    --out=DIR | --ping | --stats | --shutdown]\n"
+    "                    send requests to a running server\n";
 
 // Accepts "--key=value" or "--key value". Returns 1 on match (value in
 // *value, *i advanced for the two-token form), 0 on no match, -1 when the
@@ -236,18 +240,6 @@ int run_cli(int argc, const char* const* argv) {
                   s->info.group.c_str(), scales_label(s->info).c_str(),
                   s->info.title.c_str());
     return 0;
-  }
-
-  // Resolve scale: flag > deprecated env vars > default.
-  if (!opt.scale_set) {
-    Scale env_scale;
-    if (scale_from_env(&env_scale)) {
-      std::fprintf(stderr,
-                   "uwbams_run: warning: UWBAMS_FAST/UWBAMS_FULL are "
-                   "deprecated; use --scale=%s\n",
-                   to_string(env_scale));
-      opt.scale = env_scale;
-    }
   }
 
   // Select scenarios.

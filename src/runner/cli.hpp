@@ -4,8 +4,8 @@
 //   uwbams_run fig6_ber --scale=fast --jobs=8 --out=results/
 //   uwbams_run --all --scale=fast
 //
-// Scale resolution order: --scale flag, then the deprecated UWBAMS_FAST /
-// UWBAMS_FULL environment variables (with a warning), then "default".
+// Scale resolution: the --scale flag, else "default" (the UWBAMS_FAST /
+// UWBAMS_FULL env fallback from PR 1 was retired in PR 9).
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,17 @@
-// uwbams_run — the single CLI over every registered scenario.
+// uwbams_run — the single CLI over every registered scenario, plus the
+// serve/request modes from PR 9 (--serve starts the scenario server,
+// --connect=PATH talks to one; see docs/service.md).
+#include <cstring>
+
 #include "runner/cli.hpp"
+#include "serve/serve_cli.hpp"
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0)
+      return uwbams::serve::serve_main(argc, argv);
+    if (std::strncmp(argv[i], "--connect=", 10) == 0)
+      return uwbams::serve::client_main(argc, argv);
+  }
   return uwbams::runner::run_cli(argc, argv);
 }

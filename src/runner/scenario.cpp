@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
 
 #include "base/random.hpp"
 
@@ -27,18 +26,6 @@ bool parse_scale(const std::string& text, Scale* out) {
   else if (s == "full") *out = Scale::kFull;
   else return false;
   return true;
-}
-
-bool scale_from_env(Scale* out) {
-  if (std::getenv("UWBAMS_FAST") != nullptr) {
-    *out = Scale::kFast;
-    return true;
-  }
-  if (std::getenv("UWBAMS_FULL") != nullptr) {
-    *out = Scale::kFull;
-    return true;
-  }
-  return false;
 }
 
 ScenarioSpec& ScenarioSpec::axis(std::string axis_name,

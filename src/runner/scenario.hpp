@@ -23,16 +23,13 @@
 namespace uwbams::runner {
 
 // Workload tier. Replaces the UWBAMS_FAST / UWBAMS_FULL env-var hack that
-// each bench used to re-implement; the CLI still honors those variables as
-// a deprecated fallback (see cli.cpp).
+// each bench used to re-implement (the deprecated CLI fallback honoring
+// those variables was retired in PR 9 — --scale is the only control now).
 enum class Scale { kFast, kDefault, kFull };
 
 const char* to_string(Scale scale);
 // Accepts "fast" / "default" / "full" (case-insensitive).
 bool parse_scale(const std::string& text, Scale* out);
-// Deprecated fallback: UWBAMS_FAST=1 / UWBAMS_FULL=1. Returns true and sets
-// *out if one of the variables is present.
-bool scale_from_env(Scale* out);
 
 // Scale-tier dispatch shared by ScenarioSpec::pick and RunContext::pick —
 // the declarative replacement for the per-bench switch statements over the
@@ -51,6 +48,8 @@ T pick_by_scale(Scale scale, T fast, T def, T full) {
 struct SweepAxis {
   std::string name;
   std::vector<double> values;
+
+  bool operator==(const SweepAxis&) const = default;
 };
 
 // One expanded grid point. `seed` is derived from the spec's base seed and
@@ -127,6 +126,8 @@ class ScenarioSpec {
   ScenarioSpec& duration(double seconds) { duration_ = seconds; return *this; }
   ScenarioSpec& ebn0(double db) { ebn0_db_ = db; return *this; }
   core::IntegratorKind integrator() const { return kind_; }
+  double duration() const { return duration_; }
+  double ebn0() const { return ebn0_db_; }
   core::SystemRunConfig run_config() const {
     core::SystemRunConfig cfg;
     cfg.sys = sys_;
@@ -150,6 +151,16 @@ class ScenarioSpec {
   // repetition innermost). Deterministic in i alone.
   SweepPoint point(std::size_t i) const;
   std::vector<SweepPoint> points() const;
+
+  // Exact member-wise equality — the canonical JSON round-trip contract
+  // (`spec_from_json(spec_to_json(s)) == s`, runner/spec_json.hpp).
+  bool operator==(const ScenarioSpec& other) const {
+    return name_ == other.name_ && scale_ == other.scale_ &&
+           tier_ == other.tier_ && sys_ == other.sys_ &&
+           kind_ == other.kind_ && duration_ == other.duration_ &&
+           ebn0_db_ == other.ebn0_db_ && axes_ == other.axes_ &&
+           repetitions_ == other.repetitions_;
+  }
 
  private:
   std::string name_;

@@ -56,8 +56,19 @@ std::string ResultSink::dir() const {
   return (std::filesystem::path(out_dir_) / scenario_).string();
 }
 
+void ResultSink::set_quiet(bool quiet) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiet_ = quiet;
+}
+
+void ResultSink::enable_capture() {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_ = true;
+}
+
 void ResultSink::note(const std::string& text) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (quiet_) return;
   std::cout << text << "\n" << std::flush;
 }
 
@@ -73,26 +84,31 @@ void ResultSink::notef(const char* fmt, ...) {
 void ResultSink::write_artifact(const std::string& artifact,
                                 const std::string& ext,
                                 const std::string& content) {
-  if (out_dir_.empty() || artifact.empty()) return;
+  if (artifact.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  const std::filesystem::path d(dir());
-  std::filesystem::create_directories(d);
+  if (out_dir_.empty() && !capture_) return;
   const std::string filename =
       artifact.find('.') == std::string::npos ? artifact + ext : artifact;
   // Fault site: a simulated artifact-write failure, keyed by the target
   // filename (deterministic for any --jobs value or write order).
   base::faults::check("sink.write", base::fnv1a64(filename));
-  const std::filesystem::path path = d / filename;
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write artifact: " + path.string());
-  out << content;
+  if (!out_dir_.empty()) {
+    const std::filesystem::path d(dir());
+    std::filesystem::create_directories(d);
+    const std::filesystem::path path = d / filename;
+    std::ofstream out(path);
+    if (!out)
+      throw std::runtime_error("cannot write artifact: " + path.string());
+    out << content;
+  }
+  if (capture_) captured_.emplace_back(filename, content);
   artifacts_.push_back(filename);
 }
 
 void ResultSink::table(const base::Table& t, const std::string& artifact) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::cout << t.render() << std::flush;
+    if (!quiet_) std::cout << t.render() << std::flush;
   }
   write_artifact(artifact, ".csv", t.to_csv());
 }
@@ -101,7 +117,7 @@ void ResultSink::series(const base::Series& s, const std::string& artifact,
                         int print_precision, bool print_rows) {
   if (print_rows) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::cout << s.render(print_precision) << std::flush;
+    if (!quiet_) std::cout << s.render(print_precision) << std::flush;
   }
   write_artifact(artifact, ".csv", s.to_csv());
 }
@@ -109,7 +125,7 @@ void ResultSink::series(const base::Series& s, const std::string& artifact,
 void ResultSink::plot(const base::Series& s, int width, int height,
                       bool log_y) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::cout << s.ascii_plot(width, height, log_y) << std::flush;
+  if (!quiet_) std::cout << s.ascii_plot(width, height, log_y) << std::flush;
 }
 
 void ResultSink::trace(const base::Trace& t, const std::string& artifact) {

@@ -24,6 +24,19 @@ class ResultSink {
   // <out_dir>/<scenario>/, created on demand.
   ResultSink(std::string scenario, std::string out_dir);
 
+  // Server mode (src/serve/): suppress the stdout narration — a request
+  // handler must not interleave scenario chatter into the server's log.
+  void set_quiet(bool quiet);
+  // Server mode: keep every artifact's (filename, content) in memory even
+  // without an output directory, so a request handler can assemble the
+  // response payload without touching the filesystem. Artifact *bytes* are
+  // identical to what write_artifact puts on disk — the property that
+  // makes a cached response byte-compare equal to a --out batch run.
+  void enable_capture();
+  const std::vector<std::pair<std::string, std::string>>& captured() const {
+    return captured_;
+  }
+
   // Narrative line to stdout (replaces printf in scenario bodies).
   void note(const std::string& text);
   // printf-style convenience.
@@ -80,7 +93,10 @@ class ResultSink {
 
   std::string scenario_;
   std::string out_dir_;
+  bool quiet_ = false;
+  bool capture_ = false;
   std::string golden_stats_;
+  std::vector<std::pair<std::string, std::string>> captured_;
   std::vector<std::string> artifacts_;
   // key -> already-rendered JSON value.
   std::vector<std::pair<std::string, std::string>> metrics_;

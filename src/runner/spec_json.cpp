@@ -1,0 +1,133 @@
+#include "runner/spec_json.hpp"
+
+#include <set>
+
+#include "core/canonical.hpp"
+#include "core/equiv.hpp"
+
+namespace uwbams::runner {
+
+namespace {
+
+using base::JsonArray;
+using base::JsonObject;
+using base::JsonValue;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw base::JsonError("spec_json: " + what);
+}
+
+const JsonValue& get(const JsonObject& obj, std::set<std::string>* seen,
+                     const char* name) {
+  const auto it = obj.find(name);
+  if (it == obj.end()) fail(std::string("missing key '") + name + "'");
+  seen->insert(name);
+  return it->second;
+}
+
+int exact_int(const JsonValue& v, const char* name) {
+  const double d = v.as_number();
+  if (static_cast<double>(static_cast<int>(d)) != d)
+    fail(std::string(name) + ": expected an exact integer");
+  return static_cast<int>(d);
+}
+
+}  // namespace
+
+base::JsonValue spec_to_json_value(const ScenarioSpec& spec) {
+  JsonObject obj;
+  obj["schema"] = JsonValue(std::string(kSpecSchema));
+  obj["name"] = JsonValue(spec.name());
+  obj["scale"] = JsonValue(std::string(to_string(spec.scale())));
+  obj["tier"] = JsonValue(std::string(core::to_string(spec.tier())));
+  obj["integrator"] = JsonValue(core::to_string(spec.integrator()));
+  obj["duration"] = JsonValue(spec.duration());
+  obj["ebn0_db"] = JsonValue(spec.ebn0());
+  obj["repetitions"] = JsonValue(spec.repetitions());
+  // Axes keep declaration order (row-major expansion order is part of the
+  // seed-derivation identity), so they serialize as an array, not a map.
+  JsonArray axes;
+  axes.reserve(spec.axes().size());
+  for (const SweepAxis& ax : spec.axes()) {
+    JsonObject a;
+    a["name"] = JsonValue(ax.name);
+    JsonArray values;
+    values.reserve(ax.values.size());
+    for (double v : ax.values) values.emplace_back(v);
+    a["values"] = JsonValue(std::move(values));
+    axes.emplace_back(std::move(a));
+  }
+  obj["axes"] = JsonValue(std::move(axes));
+  obj["system"] = core::canonical::to_json(spec.system());
+  return JsonValue(std::move(obj));
+}
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  return spec_to_json_value(spec).dump(2) + "\n";
+}
+
+ScenarioSpec spec_from_json(const base::JsonValue& doc) {
+  const JsonObject& obj = doc.as_object();
+  std::set<std::string> seen;
+  const std::string& schema = get(obj, &seen, "schema").as_string();
+  if (schema != kSpecSchema)
+    fail("unsupported schema '" + schema + "' (want " + kSpecSchema + ")");
+
+  ScenarioSpec spec(get(obj, &seen, "name").as_string());
+
+  Scale scale;
+  const std::string& scale_text = get(obj, &seen, "scale").as_string();
+  if (!parse_scale(scale_text, &scale))
+    fail("unknown scale '" + scale_text + "'");
+  spec.with_scale(scale);
+
+  core::ExactnessTier tier;
+  const std::string& tier_text = get(obj, &seen, "tier").as_string();
+  if (!core::parse_exactness_tier(tier_text, &tier))
+    fail("unknown tier '" + tier_text + "'");
+  spec.with_tier(tier);
+
+  core::IntegratorKind kind;
+  const std::string& kind_text = get(obj, &seen, "integrator").as_string();
+  if (!core::canonical::parse_integrator_kind(kind_text, &kind))
+    fail("unknown integrator '" + kind_text + "'");
+  spec.integrator(kind);
+
+  spec.duration(get(obj, &seen, "duration").as_number());
+  spec.ebn0(get(obj, &seen, "ebn0_db").as_number());
+  spec.repetitions(exact_int(get(obj, &seen, "repetitions"), "repetitions"));
+
+  for (const JsonValue& av : get(obj, &seen, "axes").as_array()) {
+    const JsonObject& a = av.as_object();
+    std::set<std::string> axis_seen;
+    const std::string& name = get(a, &axis_seen, "name").as_string();
+    std::vector<double> values;
+    for (const JsonValue& v : get(a, &axis_seen, "values").as_array())
+      values.push_back(v.as_number());
+    for (const auto& [key, value] : a)
+      if (axis_seen.count(key) == 0)
+        fail("axis '" + name + "': unknown key '" + key + "'");
+    spec.axis(name, std::move(values));
+  }
+
+  uwb::SystemConfig sys;
+  core::canonical::from_json(get(obj, &seen, "system"), &sys);
+  spec.system(sys);
+
+  for (const auto& [key, value] : obj)
+    if (seen.count(key) == 0) fail("unknown key '" + key + "'");
+  return spec;
+}
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  return spec_from_json(base::parse_json(text));
+}
+
+std::uint64_t spec_content_key(const ScenarioSpec& spec) {
+  JsonObject obj;
+  obj["code_version"] = JsonValue(std::string(core::canonical::kCodeVersion));
+  obj["spec"] = spec_to_json_value(spec);
+  return core::canonical::key_of(JsonValue(std::move(obj)));
+}
+
+}  // namespace uwbams::runner

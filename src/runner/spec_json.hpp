@@ -1,0 +1,41 @@
+// spec_json.hpp — canonical ScenarioSpec serialization (schema
+// "uwbams-spec-v1") and the content key derived from it.
+//
+// The serve layer (src/serve/) and any future golden-config pin need one
+// byte-stable, schema-versioned rendering of an experiment description:
+// `spec_from_json(spec_to_json(s)) == s` exactly (every scalar compared
+// bit-for-bit), and the content key — FNV-1a over the compact canonical
+// dump plus core::canonical::kCodeVersion — changes iff a result-affecting
+// knob (or the code generation) changes. The SystemConfig payload reuses
+// core/canonical.hpp, so a knob added there is automatically covered here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/json.hpp"
+#include "runner/scenario.hpp"
+
+namespace uwbams::runner {
+
+inline constexpr const char* kSpecSchema = "uwbams-spec-v1";
+
+/// Canonical document: schema, name, scale, tier, integrator, duration,
+/// ebn0_db, repetitions, the ordered axes array, and the full canonical
+/// SystemConfig (which carries the base seed and clock).
+base::JsonValue spec_to_json_value(const ScenarioSpec& spec);
+/// spec_to_json_value(spec).dump(2) — the human-readable artifact form.
+std::string spec_to_json(const ScenarioSpec& spec);
+
+/// Strict inverse: unknown/missing keys, a wrong schema string, bad enum
+/// names or duplicate axes throw base::JsonError (or std::invalid_argument
+/// from the axis builder). Accepts a JsonValue or raw text.
+ScenarioSpec spec_from_json(const base::JsonValue& doc);
+ScenarioSpec spec_from_json(const std::string& text);
+
+/// FNV-1a content key over {code_version, spec}: stable under key
+/// reordering / whitespace of any textual source, flips for a mutation of
+/// every result-affecting knob and for a kCodeVersion bump.
+std::uint64_t spec_content_key(const ScenarioSpec& spec);
+
+}  // namespace uwbams::runner

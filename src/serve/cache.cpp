@@ -1,0 +1,94 @@
+#include "serve/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/checkpoint.hpp"
+
+namespace uwbams::serve {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir, std::size_t mem_entries)
+    : dir_(std::move(dir)), mem_entries_(mem_entries == 0 ? 1 : mem_entries) {
+  if (!dir_.empty()) fs::create_directories(dir_);
+}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  if (dir_.empty()) return "";
+  return (fs::path(dir_) / ("entry_" + base::hex_u64(key) + ".json")).string();
+}
+
+void ResultCache::insert_mem_locked(std::uint64_t key,
+                                    const std::string& payload) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, payload);
+  map_[key] = lru_.begin();
+  while (lru_.size() > mem_entries_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+bool ResultCache::get(std::uint64_t key, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    *out = it->second->second;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.mem_hits;
+    return true;
+  }
+  if (!dir_.empty()) {
+    std::ifstream in(entry_path(key), std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      if (in.good() || in.eof()) {
+        *out = ss.str();
+        insert_mem_locked(key, *out);
+        ++stats_.disk_hits;
+        return true;
+      }
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void ResultCache::put(std::uint64_t key, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_mem_locked(key, payload);
+  ++stats_.puts;
+  if (dir_.empty()) return;
+  // tmp + rename: readers only ever see complete entries (rename within a
+  // directory is atomic on POSIX), mirroring CheckpointStore::record.
+  const fs::path final_path(entry_path(key));
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("ResultCache: cannot write " +
+                               tmp_path.string());
+    out << payload;
+    if (!out)
+      throw std::runtime_error("ResultCache: short write to " +
+                               tmp_path.string());
+  }
+  fs::rename(tmp_path, final_path);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace uwbams::serve

@@ -1,0 +1,71 @@
+/// @file cache.hpp
+/// @brief Content-addressed result cache: memory LRU in front of a disk
+/// store.
+///
+/// Entries are keyed by the FNV-1a content key of a canonical document
+/// (core/canonical.hpp): every result-affecting knob plus the code-version
+/// constant, so a hit is *definitionally* the byte-identical result of the
+/// same computation — the cache never needs to compare payloads, only
+/// keys. Used by the `uwbams_serve` request handler (whole-scenario
+/// results), the surrogate calibration (net::load_or_calibrate_surrogate)
+/// and, in-memory only, the characterization memo (core/memo.hpp).
+///
+/// Disk layout (`dir` empty = memory-only):
+///   entry_<0x%016llx>.json — the payload bytes, verbatim.
+/// Writes go through tmp-file + rename (the CheckpointStore idiom), so a
+/// kill mid-write never leaves a torn entry under the final name; a
+/// corrupted or unreadable entry is treated as a miss and overwritten by
+/// the next put. Payload validity is the caller's contract: layers that
+/// must survive hostile on-disk edits (the surrogate loader) re-validate
+/// the payload and fall back to recomputation on a parse failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace uwbams::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t mem_hits = 0;   ///< served from the memory LRU
+    std::uint64_t disk_hits = 0;  ///< read back from the disk store
+    std::uint64_t misses = 0;     ///< not present anywhere
+    std::uint64_t puts = 0;       ///< entries stored
+    std::uint64_t evictions = 0;  ///< memory entries displaced by LRU
+  };
+
+  /// `dir` empty = memory-only. `mem_entries` bounds the LRU (>= 1).
+  explicit ResultCache(std::string dir = "", std::size_t mem_entries = 64);
+
+  /// True (payload in *out) on a hit; promotes the entry to most-recent.
+  /// A disk hit is pulled into the memory LRU.
+  bool get(std::uint64_t key, std::string* out);
+  /// Stores (overwriting) the payload under `key`, memory + disk.
+  void put(std::uint64_t key, const std::string& payload);
+
+  const std::string& dir() const { return dir_; }
+  Stats stats() const;
+
+  /// entry_<0x%016llx>.json under `dir` ("" when memory-only).
+  std::string entry_path(std::uint64_t key) const;
+
+ private:
+  void insert_mem_locked(std::uint64_t key, const std::string& payload);
+
+  std::string dir_;
+  std::size_t mem_entries_;
+  // Most-recent-first (key, payload) list + key -> node index.
+  std::list<std::pair<std::uint64_t, std::string>> lru_;
+  std::map<std::uint64_t,
+           std::list<std::pair<std::uint64_t, std::string>>::iterator>
+      map_;
+  Stats stats_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace uwbams::serve

@@ -1,0 +1,83 @@
+/// @file protocol.hpp
+/// @brief The newline-delimited JSON request protocol of `uwbams_serve`.
+///
+/// One request = one JSON object on one line; one response = one JSON
+/// object on one line. Schema "uwbams-serve-v1". Request fields:
+///
+///   {"schema": "uwbams-serve-v1", "op": "run", "scenario": "fig6_ber",
+///    "scale": "fast", "tier": "bit_exact", "seed": "0x0000000000000001"}
+///
+///   * `schema`   required; a version mismatch is a structured error, the
+///                client and server must agree on the contract;
+///   * `op`       "run" (default) | "ping" | "stats" | "shutdown";
+///   * `scenario` required for "run": a ScenarioRegistry name;
+///   * `scale`    optional, "fast"|"default"|"full" (default "default");
+///   * `tier`     optional, "bit_exact"|"stat_equiv" (default bit_exact);
+///   * `seed`     optional, a "0x..." string or an exact JSON integer
+///                below 2^53 (default 1).
+///
+/// Unknown keys are rejected — a typo'd knob must not silently run the
+/// default configuration under the caller's cache key. Parsing is strict
+/// and total: any malformed, truncated, oversized or mis-versioned line
+/// yields ProtocolError (the server answers a structured error response
+/// and never partially executes).
+///
+/// The run content key hashes {code_version, kind, scenario, scale, seed,
+/// tier} canonically — notably *not* the server's --jobs (scenario sweeps
+/// are bit-identical across job counts; that is the repo's oldest CI
+/// gate), so one warm cache serves any pool size.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "base/json.hpp"
+#include "core/equiv.hpp"
+#include "runner/scenario.hpp"
+
+namespace uwbams::serve {
+
+inline constexpr const char* kProtocolSchema = "uwbams-serve-v1";
+inline constexpr const char* kResultSchema = "uwbams-serve-result-v1";
+/// Upper bound on one request line (1 MiB): a run request is a few hundred
+/// bytes; anything larger is hostile or corrupt and is refused before
+/// parsing.
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+/// Thrown by Request::parse on any invalid request line.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class Op { kRun, kPing, kStats, kShutdown };
+
+const char* to_string(Op op);
+
+struct Request {
+  Op op = Op::kRun;
+  std::string scenario;
+  runner::Scale scale = runner::Scale::kDefault;
+  core::ExactnessTier tier = core::ExactnessTier::kBitExact;
+  std::uint64_t seed = 1;
+
+  /// Strict parse of one request line. @throws ProtocolError.
+  static Request parse(const std::string& line);
+
+  /// Canonical request line (compact). Field order / whitespace of the
+  /// *wire* form never matters: the content key hashes the canonical
+  /// re-rendering, so any equivalent line maps to the same cache entry.
+  std::string to_line() const;
+
+  /// FNV-1a content key of a run request (includes
+  /// core::canonical::kCodeVersion; excludes server --jobs).
+  std::uint64_t content_key() const;
+};
+
+/// One-line structured error response: {"error": msg, "schema": ...,
+/// "status": "error"}.
+std::string error_line(const std::string& message);
+
+}  // namespace uwbams::serve

@@ -1,0 +1,26 @@
+/// @file serve_cli.hpp
+/// @brief Server / client entry points behind `uwbams_run --serve` and
+/// `uwbams_run --connect=...` (also the `uwbams_serve` binary).
+///
+///   uwbams_run --serve [--socket=PATH] [--cache=DIR] [--jobs=N]
+///                      [--mem-entries=N] [--verbose]
+///   uwbams_run --connect=PATH scenario [...] [--scale=S] [--seed=N]
+///                      [--tier=T] [--out=DIR]
+///   uwbams_run --connect=PATH --ping | --stats | --shutdown
+///
+/// See docs/service.md for the wire protocol and cache key contract.
+#pragma once
+
+namespace uwbams::serve {
+
+/// The long-lived server. Prints a "listening on <path>" readiness line,
+/// then blocks until a shutdown request or SIGINT/SIGTERM; drains live
+/// connections before exiting. Returns a process exit code.
+int serve_main(int argc, const char* const* argv);
+
+/// One-shot client: sends each requested scenario (or control op) to a
+/// running server and writes artifacts + manifest.json under --out.
+/// Returns non-zero if any request failed.
+int client_main(int argc, const char* const* argv);
+
+}  // namespace uwbams::serve

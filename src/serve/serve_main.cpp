@@ -1,0 +1,6 @@
+// uwbams_serve — the long-lived scenario server (see docs/service.md).
+#include "serve/serve_cli.hpp"
+
+int main(int argc, char** argv) {
+  return uwbams::serve::serve_main(argc, argv);
+}

@@ -1,0 +1,81 @@
+/// @file server.hpp
+/// @brief AF_UNIX line-framed transport for `uwbams_serve`.
+///
+/// Server owns a listening SOCK_STREAM unix-domain socket and a small
+/// thread-per-connection accept loop; all request semantics live in the
+/// ScenarioService it wraps (service.hpp). Framing is newline-delimited:
+/// each complete line goes to ScenarioService::handle_line and the single
+/// response line is written back. A connection whose buffered line exceeds
+/// protocol kMaxRequestBytes gets one structured error response and is
+/// closed — the server never allocates unboundedly for a hostile peer.
+///
+/// Client is the matching blocking connector used by the CLI request mode
+/// and the tests: one roundtrip() = write a line, read a line.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace uwbams::serve {
+
+class Server {
+ public:
+  /// Binds and listens on `socket_path` (an existing stale socket file is
+  /// removed first). @throws std::runtime_error on any socket failure.
+  Server(std::string socket_path, ScenarioService& service);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts the accept loop in a background thread.
+  void start();
+  /// Stops accepting, shuts down live connections for reading (in-flight
+  /// responses still drain), joins all threads, unlinks the socket file.
+  /// Idempotent.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  std::string socket_path_;
+  ScenarioService& service_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Blocking unix-domain client: connect once, then any number of
+/// line-in / line-out roundtrips on the same connection.
+class Client {
+ public:
+  /// @throws std::runtime_error if the connect fails.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `line` (newline appended) and returns the response line
+  /// (newline stripped). @throws std::runtime_error on a dropped
+  /// connection.
+  std::string roundtrip(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace uwbams::serve

@@ -39,6 +39,11 @@ struct ClockConfig {
   /// still jitter independently (and reproducibly, regardless of execution
   /// order or worker count).
   std::uint64_t node_id = 0;
+
+  /// Member-wise equality (exact double compare: two configs are "equal"
+  /// only when they are the *same run identity*, the canonical-
+  /// serialization round-trip contract).
+  bool operator==(const ClockConfig&) const = default;
 };
 
 class ClockModel {

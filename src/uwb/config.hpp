@@ -115,6 +115,11 @@ struct SystemConfig {
   /// plus `seed`, so both halves of a node run on the same oscillator.
   ClockConfig clock;
 
+  /// Member-wise equality (exact double compare): the canonical-
+  /// serialization round-trip contract `from_json(to_json(c)) == c` is an
+  /// identity of the run, not a numerical tolerance question.
+  bool operator==(const SystemConfig&) const = default;
+
   /// Derived helpers.
   double slot_period() const { return symbol_period / 2.0; }
   double sample_rate() const { return 1.0 / dt; }

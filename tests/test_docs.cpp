@@ -198,4 +198,33 @@ TEST(Docs, CharacterizationPageCoversStatisticalScenarios) {
   }
 }
 
+// The scenario-server contract (service.md) must keep covering the
+// vocabulary a reader needs to drive the server and trust its cache: the
+// wire schema, the ops, the key contract (what is hashed, what is
+// excluded, how invalidation works), the durability mechanics, and the
+// intermediate memoization env knobs. The catalog's conventions must
+// point readers at the page.
+TEST(Docs, ServicePageCoversTheServerContract) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/service.md");
+  ASSERT_FALSE(text.empty()) << "docs/service.md is missing";
+  for (const char* needle :
+       {"uwbams-serve-v1", "uwbams-serve-result-v1", "--connect",
+        "--socket", "--cache", "--mem-entries", "--shutdown", "content key",
+        "uwbams-serve-run/1", "kCodeVersion", "FNV-1a", "coalesced",
+        "kMaxRequestBytes", "UWBAMS_CACHE", "UWBAMS_MEMO",
+        "UWBAMS_SURROGATE", "manifest.json", "byte-identical", "rename(2)",
+        "--jobs` is excluded"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "docs/service.md does not mention '" << needle << "'";
+  }
+  const std::string catalog =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(catalog.empty());
+  for (const char* needle : {"service.md", "uwbams_serve", "--connect"}) {
+    EXPECT_NE(catalog.find(needle), std::string::npos)
+        << "docs/scenarios.md does not mention '" << needle << "'";
+  }
+}
+
 }  // namespace

@@ -1,0 +1,388 @@
+// test_serve — the socket-free server layers:
+//
+//   * ResultCache: memory LRU semantics, the disk level's tmp+rename
+//     durability and cross-instance hits, statistics;
+//   * request parsing robustness (satellite of the server-grade test
+//     layer): malformed / truncated / oversized / mis-versioned requests
+//     are structured errors, never crashes and never partial execution —
+//     this file runs under ASan+UBSan in CI;
+//   * ScenarioService end to end (in-process, no sockets): cold compute,
+//     warm byte-identical cache hit, failed runs not cached, control ops;
+//   * the cache clients: the characterize memo (core/memo.hpp) and the
+//     surrogate calibration cache (net/surrogate_cache.hpp) return
+//     bit-identical results on a repeat and key on every knob.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "base/json.hpp"
+#include "base/parallel.hpp"
+#include "core/memo.hpp"
+#include "net/surrogate_cache.hpp"
+#include "runner/registry.hpp"
+#include "runner/runner.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+using namespace uwbams;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       (std::string("uwbams_") + tag + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// A cheap deterministic scenario the service tests run: one artifact whose
+// bytes depend on the seed, plus a short narration line.
+REGISTER_SCENARIO(serve_unit_probe, "test", "serve unit-test probe") {
+  std::string csv = "index,value\n";
+  char buf[64];
+  for (int i = 0; i < 8; ++i) {
+    std::snprintf(buf, sizeof buf, "%d,%llu\n", i,
+                  static_cast<unsigned long long>(ctx.seed * 1000003ULL + i));
+    csv += buf;
+  }
+  ctx.sink.note("probe ran");
+  ctx.sink.raw_artifact("probe.csv", csv);
+  ctx.sink.raw_artifact("scale.txt",
+                        std::string(runner::to_string(ctx.scale)) + "\n");
+  return 0;
+}
+
+REGISTER_SCENARIO(serve_unit_fails, "test", "serve unit-test failing probe") {
+  ctx.sink.raw_artifact("partial.csv", "should never be served\n");
+  return 3;
+}
+
+std::string result_of(const std::string& response) {
+  // The payload embeds verbatim and is canonical compact, so parse ->
+  // dump(0) of the `result` member reproduces its exact bytes.
+  return base::parse_json(response).at("result").dump(0);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- ResultCache
+
+TEST(ResultCache, MemoryLruHitsAndEviction) {
+  serve::ResultCache cache("", 2);
+  std::string out;
+  EXPECT_FALSE(cache.get(1, &out));
+  cache.put(1, "one");
+  cache.put(2, "two");
+  ASSERT_TRUE(cache.get(1, &out));  // 1 becomes most-recent
+  EXPECT_EQ(out, "one");
+  cache.put(3, "three");  // evicts 2, the least-recent
+  EXPECT_FALSE(cache.get(2, &out));
+  ASSERT_TRUE(cache.get(1, &out));
+  ASSERT_TRUE(cache.get(3, &out));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.mem_hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.puts, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ResultCache, DiskLevelSurvivesTheInstance) {
+  const std::string dir = temp_dir("cache");
+  const std::string payload = "{\"x\":1}";
+  {
+    serve::ResultCache cache(dir, 4);
+    cache.put(0xabcdef, payload);
+  }
+  // No tmp residue: writes are tmp + rename.
+  for (const auto& e : fs::directory_iterator(dir))
+    EXPECT_EQ(e.path().extension(), ".json") << e.path();
+  serve::ResultCache fresh(dir, 4);
+  std::string out;
+  ASSERT_TRUE(fresh.get(0xabcdef, &out));
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+  // Promoted to memory: a second get is a memory hit.
+  ASSERT_TRUE(fresh.get(0xabcdef, &out));
+  EXPECT_EQ(fresh.stats().mem_hits, 1u);
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------------- protocol parsing
+
+TEST(Protocol, StrictParseAcceptsTheCanonicalLine) {
+  serve::Request req;
+  req.scenario = "fig6_ber";
+  req.scale = runner::Scale::kFast;
+  req.seed = 7;
+  const serve::Request back = serve::Request::parse(req.to_line());
+  EXPECT_EQ(back.scenario, "fig6_ber");
+  EXPECT_EQ(back.scale, runner::Scale::kFast);
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_EQ(back.content_key(), req.content_key());
+}
+
+TEST(Protocol, MalformedRequestsAreStructuredErrors) {
+  const char* bad[] = {
+      "",                                            // empty
+      "not json at all",                             // garbage
+      "{\"schema\":\"uwbams-serve-v1\"",             // truncated
+      "[1,2,3]",                                     // not an object
+      "{\"op\":\"run\",\"scenario\":\"x\"}",         // missing schema
+      "{\"schema\":\"uwbams-serve-v2\",\"scenario\":\"x\"}",  // wrong version
+      "{\"schema\":\"uwbams-serve-v1\",\"op\":\"fly\"}",      // unknown op
+      "{\"schema\":\"uwbams-serve-v1\"}",            // run without scenario
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\",\"sede\":1}",
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\",\"scale\":\"big\"}",
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\",\"tier\":\"gold\"}",
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\",\"seed\":1.5}",
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\",\"seed\":\"17\"}",
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\",\"seed\":\"0xzz\"}",
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":true}",  // kind mismatch
+  };
+  for (const char* line : bad)
+    EXPECT_THROW(serve::Request::parse(line), serve::ProtocolError) << line;
+  // Oversized: refused before parsing.
+  std::string huge = "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"";
+  huge += std::string(serve::kMaxRequestBytes, 'a');
+  huge += "\"}";
+  EXPECT_THROW(serve::Request::parse(huge), serve::ProtocolError);
+}
+
+TEST(Protocol, SeedAboveDoublePrecisionNeedsHex) {
+  // 2^53 + 1 is not exactly representable; the hex form is.
+  EXPECT_THROW(
+      serve::Request::parse("{\"schema\":\"uwbams-serve-v1\",\"scenario\":"
+                            "\"x\",\"seed\":9007199254740993}"),
+      serve::ProtocolError);
+  const serve::Request req = serve::Request::parse(
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"x\","
+      "\"seed\":\"0xdeadbeefcafebabe\"}");
+  EXPECT_EQ(req.seed, 0xdeadbeefcafebabeULL);
+}
+
+// ------------------------------------------------------- service semantics
+
+TEST(Service, ErrorsAreResponsesNeverCrashesNeverPartialRuns) {
+  serve::ResultCache cache;
+  base::ParallelRunner pool(1);
+  serve::ScenarioService svc(cache, pool);
+  for (const std::string line :
+       {std::string("garbage"), std::string("{\"schema\":\"wrong\"}"),
+        std::string("{\"schema\":\"uwbams-serve-v1\",\"scenario\":"
+                    "\"no_such_scenario\"}")}) {
+    const base::JsonValue resp = base::parse_json(svc.handle_line(line));
+    EXPECT_EQ(resp.at("status").as_string(), "error") << line;
+    EXPECT_FALSE(resp.at("error").as_string().empty()) << line;
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_EQ(stats.computations, 0u);  // nothing partially executed
+}
+
+TEST(Service, ColdThenWarmIsByteIdenticalAndCached) {
+  serve::ResultCache cache;
+  base::ParallelRunner pool(2);
+  serve::ScenarioService svc(cache, pool);
+  const std::string line =
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"serve_unit_probe\","
+      "\"scale\":\"fast\",\"seed\":11}";
+
+  const std::string cold = svc.handle_line(line);
+  const base::JsonValue cold_doc = base::parse_json(cold);
+  EXPECT_EQ(cold_doc.at("status").as_string(), "ok");
+  EXPECT_EQ(cold_doc.at("cache").as_string(), "miss");
+  const base::JsonValue payload = cold_doc.at("result");
+  EXPECT_EQ(payload.at("schema").as_string(), "uwbams-serve-result-v1");
+  EXPECT_EQ(payload.at("scenario").as_string(), "serve_unit_probe");
+  EXPECT_EQ(payload.at("status").as_number(), 0.0);
+  const std::string probe_csv =
+      payload.at("artifacts").at("probe.csv").as_string();
+  EXPECT_NE(probe_csv.find("0,11000033\n"), std::string::npos);
+
+  const std::string warm = svc.handle_line(line);
+  EXPECT_EQ(base::parse_json(warm).at("cache").as_string(), "hit");
+  EXPECT_EQ(result_of(warm), result_of(cold));
+
+  // A different seed is a different key: cold again.
+  const std::string other = svc.handle_line(
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"serve_unit_probe\","
+      "\"scale\":\"fast\",\"seed\":12}");
+  EXPECT_EQ(base::parse_json(other).at("cache").as_string(), "miss");
+  EXPECT_NE(result_of(other), result_of(cold));
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.computations, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(Service, FailedRunsAreErrorsAndNotCached) {
+  serve::ResultCache cache;
+  base::ParallelRunner pool(1);
+  serve::ScenarioService svc(cache, pool);
+  const std::string line =
+      "{\"schema\":\"uwbams-serve-v1\",\"scenario\":\"serve_unit_fails\"}";
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const base::JsonValue resp = base::parse_json(svc.handle_line(line));
+    EXPECT_EQ(resp.at("status").as_string(), "error");
+    EXPECT_NE(resp.at("error").as_string().find("serve_unit_fails"),
+              std::string::npos);
+  }
+  // Both attempts computed: a failure must never be served from cache.
+  EXPECT_EQ(svc.stats().computations, 2u);
+  EXPECT_EQ(svc.stats().cache_hits, 0u);
+}
+
+TEST(Service, ControlOps) {
+  serve::ResultCache cache;
+  base::ParallelRunner pool(1);
+  serve::ScenarioService svc(cache, pool);
+  const base::JsonValue pong = base::parse_json(
+      svc.handle_line("{\"schema\":\"uwbams-serve-v1\",\"op\":\"ping\"}"));
+  EXPECT_EQ(pong.at("op").as_string(), "ping");
+  EXPECT_EQ(pong.at("status").as_string(), "ok");
+
+  const base::JsonValue stats = base::parse_json(
+      svc.handle_line("{\"schema\":\"uwbams-serve-v1\",\"op\":\"stats\"}"));
+  EXPECT_EQ(stats.at("stats").at("requests").as_number(), 2.0);
+
+  EXPECT_FALSE(svc.shutdown_requested());
+  base::parse_json(svc.handle_line(
+      "{\"schema\":\"uwbams-serve-v1\",\"op\":\"shutdown\"}"));
+  EXPECT_TRUE(svc.shutdown_requested());
+  EXPECT_TRUE(svc.wait_shutdown_for(1));
+}
+
+// ------------------------------------------------------- characterize memo
+
+TEST(Memo, CharacterizationRoundTripIsExact) {
+  core::ItdCharacterization ch;
+  ch.ac = {37.123456789012345, 1.25e6, 3.5e9, 0.0625};
+  ch.unity_gain_freq = 1.9999999999999998e8;
+  ch.input_linear_range = 0.123456789;
+  ch.slew_rate = 8.75e6;
+  ch.sweep.points.push_back({1e3, {0.1234567890123456, -2.5e-3}});
+  ch.sweep.points.push_back({1e9, {-7.0, 1.0 / 3.0}});
+  const core::ItdCharacterization back =
+      core::memo::characterization_from_json(
+          core::memo::characterization_to_json(ch));
+  EXPECT_EQ(back.ac.dc_gain_db, ch.ac.dc_gain_db);
+  EXPECT_EQ(back.ac.f_pole1, ch.ac.f_pole1);
+  EXPECT_EQ(back.ac.f_pole2, ch.ac.f_pole2);
+  EXPECT_EQ(back.ac.rms_error_db, ch.ac.rms_error_db);
+  EXPECT_EQ(back.unity_gain_freq, ch.unity_gain_freq);
+  EXPECT_EQ(back.input_linear_range, ch.input_linear_range);
+  EXPECT_EQ(back.slew_rate, ch.slew_rate);
+  ASSERT_EQ(back.sweep.points.size(), ch.sweep.points.size());
+  for (std::size_t i = 0; i < ch.sweep.points.size(); ++i) {
+    EXPECT_EQ(back.sweep.points[i].freq, ch.sweep.points[i].freq);
+    EXPECT_EQ(back.sweep.points[i].value, ch.sweep.points[i].value);
+  }
+}
+
+TEST(Memo, KeysOnEveryKnobAndCodeVersion) {
+  const spice::ItdSizing sizing;
+  core::CharacterizeOptions opts;
+  const std::uint64_t key = core::memo::characterize_content_key(sizing, opts);
+
+  spice::ItdSizing other_sizing;
+  other_sizing.c_int *= 2.0;
+  EXPECT_NE(core::memo::characterize_content_key(other_sizing, opts), key);
+
+  core::CharacterizeOptions other_opts;
+  other_opts.points_per_decade += 1;
+  EXPECT_NE(core::memo::characterize_content_key(sizing, other_opts), key);
+
+  core::CharacterizeOptions other_transient;
+  other_transient.transient.reltol *= 0.5;
+  EXPECT_NE(core::memo::characterize_content_key(sizing, other_transient),
+            key);
+}
+
+TEST(Memo, RepeatCharacterizationIsAMemoryHitAndBitIdentical) {
+  core::memo::reset_for_tests();
+  // A deliberately coarse, transient-free setup keeps this test fast; the
+  // memo key covers these knobs, so the coarse entries cannot leak into
+  // a full-fidelity caller.
+  core::CharacterizeOptions opts;
+  opts.points_per_decade = 2;
+  opts.measure_linear_range = false;
+  opts.measure_slew = false;
+  const auto cold = core::memo::characterize_itd_cached({}, opts);
+  EXPECT_EQ(core::memo::stats().misses, 1u);
+  const auto warm = core::memo::characterize_itd_cached({}, opts);
+  EXPECT_EQ(core::memo::stats().mem_hits, 1u);
+  EXPECT_EQ(warm.ac.dc_gain_db, cold.ac.dc_gain_db);
+  EXPECT_EQ(warm.ac.f_pole1, cold.ac.f_pole1);
+  EXPECT_EQ(warm.ac.f_pole2, cold.ac.f_pole2);
+  EXPECT_EQ(warm.unity_gain_freq, cold.unity_gain_freq);
+  ASSERT_EQ(warm.sweep.points.size(), cold.sweep.points.size());
+  for (std::size_t i = 0; i < cold.sweep.points.size(); ++i)
+    EXPECT_EQ(warm.sweep.points[i].value, cold.sweep.points[i].value);
+  // The memo result matches a direct, un-memoized call bit for bit.
+  const auto direct = core::characterize_itd({}, opts);
+  EXPECT_EQ(warm.ac.dc_gain_db, direct.ac.dc_gain_db);
+  EXPECT_EQ(warm.slew_rate, direct.slew_rate);
+  core::memo::reset_for_tests();
+}
+
+// -------------------------------------------------------- surrogate cache
+
+TEST(SurrogateCache, KeysOnEveryKnob) {
+  net::CalibrationConfig cfg;
+  const std::uint64_t key =
+      net::surrogate_content_key(cfg, core::IntegratorKind::kIdeal);
+
+  EXPECT_NE(net::surrogate_content_key(cfg, core::IntegratorKind::kBehavioral),
+            key);
+
+  net::CalibrationConfig c1 = cfg;
+  c1.seed += 1;
+  EXPECT_NE(net::surrogate_content_key(c1, core::IntegratorKind::kIdeal), key);
+
+  net::CalibrationConfig c2 = cfg;
+  c2.samples_per_cell += 1;
+  EXPECT_NE(net::surrogate_content_key(c2, core::IntegratorKind::kIdeal), key);
+
+  net::CalibrationConfig c3 = cfg;
+  c3.ranges_m.push_back(13.0);
+  EXPECT_NE(net::surrogate_content_key(c3, core::IntegratorKind::kIdeal), key);
+
+  net::CalibrationConfig c4 = cfg;
+  c4.twr.sys.dt *= 2.0;
+  EXPECT_NE(net::surrogate_content_key(c4, core::IntegratorKind::kIdeal), key);
+
+  net::CalibrationConfig c5 = cfg;
+  c5.outlier_threshold_m *= 2.0;
+  EXPECT_NE(net::surrogate_content_key(c5, core::IntegratorKind::kIdeal), key);
+}
+
+TEST(SurrogateCache, RepeatCalibrationIsServedFromTheCache) {
+  net::CalibrationConfig cfg;
+  cfg.ranges_m = {5.0};
+  cfg.noise_psd = {8e-19};
+  cfg.dppm = {0.0};
+  cfg.samples_per_cell = 2;
+  cfg.seed = 424242;  // a key no other test warms
+  base::ParallelRunner pool(2);
+
+  int quar = -7;
+  std::string source;
+  const auto cold = net::load_or_calibrate_surrogate(
+      cfg, core::IntegratorKind::kIdeal, &pool, &quar, &source);
+  EXPECT_GE(quar, 0);
+  EXPECT_EQ(source, "inline calibration");
+
+  const auto warm = net::load_or_calibrate_surrogate(
+      cfg, core::IntegratorKind::kIdeal, &pool, &quar, &source);
+  EXPECT_EQ(quar, -1);  // nothing ran
+  EXPECT_NE(source.find("cache"), std::string::npos);
+  EXPECT_TRUE(warm == cold);               // table-level equality
+  EXPECT_EQ(warm.to_json(), cold.to_json());  // byte-level equality
+}
