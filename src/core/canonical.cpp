@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "uwb/channel.hpp"
+
 namespace uwbams::core::canonical {
 
 namespace {
@@ -61,6 +63,9 @@ struct Writer {
   void operator()(const char* name, spice::Corner& f) {
     (*obj)[name] = JsonValue(std::string(spice::to_string(f)));
   }
+  void operator()(const char* name, uwb::ChannelClass& f) {
+    (*obj)[name] = JsonValue(std::string(uwb::to_string(f)));
+  }
 };
 
 // Assigns one field from the source object, tracking consumed keys so the
@@ -100,6 +105,11 @@ struct Reader {
     // spice::parse_corner; canonical parsing is exact-match only.
     if (!canonical::parse_corner(s, &f))
       fail(std::string(name) + ": unknown corner '" + s + "'");
+  }
+  void operator()(const char* name, uwb::ChannelClass& f) {
+    const std::string& s = get(name).as_string();
+    if (!canonical::parse_channel_class(s, &f))
+      fail(std::string(name) + ": unknown channel class '" + s + "'");
   }
 };
 
@@ -169,6 +179,10 @@ bool parse_corner(const std::string& text, spice::Corner* out) {
   return false;
 }
 
+bool parse_channel_class(const std::string& text, uwb::ChannelClass* out) {
+  return uwb::parse_channel_class(text, out);
+}
+
 bool parse_integrator_kind(const std::string& text, IntegratorKind* out) {
   for (const IntegratorKind k :
        {IntegratorKind::kIdeal, IntegratorKind::kSpice,
@@ -186,11 +200,19 @@ void from_json(const base::JsonValue& doc, uwb::ClockConfig* out) {
   flat_from_json(doc, out, "ClockConfig");
 }
 
+base::JsonValue to_json(const uwb::InterferenceConfig& c) {
+  return flat_to_json(c);
+}
+void from_json(const base::JsonValue& doc, uwb::InterferenceConfig* out) {
+  flat_from_json(doc, out, "InterferenceConfig");
+}
+
 base::JsonValue to_json(const uwb::SystemConfig& c) {
   uwb::SystemConfig copy = c;
   JsonObject obj;
   visit_fields(copy, Writer{&obj});
   obj["clock"] = to_json(c.clock);
+  obj["interference"] = to_json(c.interference);
   return JsonValue(std::move(obj));
 }
 
@@ -200,6 +222,7 @@ void from_json(const base::JsonValue& doc, uwb::SystemConfig* out) {
   uwb::SystemConfig tmp{};
   visit_fields(tmp, Reader{&obj, &seen});
   read_sub(obj, &seen, "clock", &tmp.clock, "SystemConfig");
+  read_sub(obj, &seen, "interference", &tmp.interference, "SystemConfig");
   reject_unknown(obj, seen, "SystemConfig");
   *out = tmp;
 }

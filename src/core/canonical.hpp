@@ -46,10 +46,11 @@ inline constexpr const char* kCodeVersion = "uwbams-code/9";
 //
 // `v(name, field)` is called once per *direct scalar* field, in declaration
 // order. Visitors must accept double&, int&, bool&, std::uint64_t&,
-// std::vector<double>&, spice::Integrator& and spice::Corner& (a generic
-// lambda with `if constexpr` works). Nested structs (SystemConfig::clock,
-// TransientOptions::adaptive/op, ...) are *not* visited here — to_json
-// emits them as sub-objects and the tests iterate each struct separately.
+// std::vector<double>&, spice::Integrator&, spice::Corner& and
+// uwb::ChannelClass& (a generic lambda with `if constexpr` works). Nested
+// structs (SystemConfig::clock/interference, TransientOptions::adaptive/op,
+// ...) are *not* visited here — to_json emits them as sub-objects and the
+// tests iterate each struct separately.
 
 template <typename V>
 void visit_fields(uwb::ClockConfig& c, V&& v) {
@@ -103,7 +104,18 @@ void visit_fields(uwb::SystemConfig& c, V&& v) {
   v("path_loss_db_1m", c.path_loss_db_1m);
   v("multipath", c.multipath);
   v("noise_psd", c.noise_psd);
+  v("channel_class", c.channel_class);
   v("seed", c.seed);
+}
+
+template <typename V>
+void visit_fields(uwb::InterferenceConfig& c, V&& v) {
+  v("cw_amplitude", c.cw_amplitude);
+  v("cw_freq", c.cw_freq);
+  v("cw_phase", c.cw_phase);
+  v("uwb_count", c.uwb_count);
+  v("uwb_amplitude", c.uwb_amplitude);
+  v("uwb_symbol_period", c.uwb_symbol_period);
 }
 
 template <typename V>
@@ -232,6 +244,9 @@ bool parse_corner(const std::string& text, spice::Corner* out);
 /// "ideal" / "spice" / "behavioral" (core::to_string(IntegratorKind)).
 bool parse_integrator_kind(const std::string& text, IntegratorKind* out);
 
+/// "cm1".."cm4" — forwarded to uwb::parse_channel_class (exact match).
+bool parse_channel_class(const std::string& text, uwb::ChannelClass* out);
+
 // -------------------------------------------------------- JSON round trips
 //
 // to_json produces the canonical document (sorted keys via JsonObject,
@@ -242,6 +257,9 @@ bool parse_integrator_kind(const std::string& text, IntegratorKind* out);
 
 base::JsonValue to_json(const uwb::ClockConfig& c);
 void from_json(const base::JsonValue& doc, uwb::ClockConfig* out);
+
+base::JsonValue to_json(const uwb::InterferenceConfig& c);
+void from_json(const base::JsonValue& doc, uwb::InterferenceConfig* out);
 
 base::JsonValue to_json(const uwb::SystemConfig& c);
 void from_json(const base::JsonValue& doc, uwb::SystemConfig* out);

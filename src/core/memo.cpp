@@ -18,10 +18,12 @@ using base::JsonObject;
 using base::JsonValue;
 
 constexpr const char* kResultSchema = "uwbams-characterize-result-v1";
+constexpr const char* kChannelSchema = "uwbams-channel-draws-v1";
 
 struct MemoState {
   std::mutex mu;
   std::map<std::uint64_t, ItdCharacterization> mem;
+  std::map<std::uint64_t, std::vector<uwb::ChannelRealization>> channel_mem;
   std::unique_ptr<serve::ResultCache> disk;  // null without UWBAMS_CACHE
   Stats stats;
 
@@ -142,6 +144,120 @@ ItdCharacterization characterize_itd_cached(
   return ch;
 }
 
+std::uint64_t channel_draws_content_key(
+    uwb::ChannelClass cls, const uwb::SalehValenzuelaParams& p,
+    std::uint64_t seed, int count) {
+  JsonObject params;
+  params["cluster_rate"] = JsonValue(p.cluster_rate);
+  params["ray_rate1"] = JsonValue(p.ray_rate1);
+  params["ray_rate2"] = JsonValue(p.ray_rate2);
+  params["ray_mix_beta"] = JsonValue(p.ray_mix_beta);
+  params["cluster_decay"] = JsonValue(p.cluster_decay);
+  params["ray_decay"] = JsonValue(p.ray_decay);
+  params["mean_clusters"] = JsonValue(p.mean_clusters);
+  params["nakagami_m_median"] = JsonValue(p.nakagami_m_median);
+  params["nakagami_m_sigma"] = JsonValue(p.nakagami_m_sigma);
+  params["nakagami_m_first"] = JsonValue(p.nakagami_m_first);
+  params["los"] = JsonValue(p.los);
+  params["max_excess_delay"] = JsonValue(p.max_excess_delay);
+  params["max_taps"] = JsonValue(p.max_taps);
+  JsonObject obj;
+  obj["code_version"] = JsonValue(std::string(canonical::kCodeVersion));
+  obj["kind"] = JsonValue(std::string("uwbams-channel/1"));
+  obj["class"] = JsonValue(std::string(uwb::to_string(cls)));
+  obj["params"] = JsonValue(std::move(params));
+  obj["seed"] = JsonValue(base::hex_u64(seed));
+  obj["count"] = JsonValue(count);
+  return canonical::key_of(JsonValue(std::move(obj)));
+}
+
+std::string channel_draws_to_json(
+    const std::vector<uwb::ChannelRealization>& draws) {
+  JsonArray arr;
+  arr.reserve(draws.size());
+  for (const uwb::ChannelRealization& cr : draws) {
+    JsonArray taps;
+    taps.reserve(cr.taps.size());
+    for (const uwb::ChannelTap& tap : cr.taps) {
+      JsonArray pair;
+      pair.emplace_back(tap.delay);
+      pair.emplace_back(tap.gain);
+      taps.emplace_back(std::move(pair));
+    }
+    arr.emplace_back(std::move(taps));
+  }
+  JsonObject obj;
+  obj["schema"] = JsonValue(std::string(kChannelSchema));
+  obj["draws"] = JsonValue(std::move(arr));
+  return JsonValue(std::move(obj)).dump(0);
+}
+
+std::vector<uwb::ChannelRealization> channel_draws_from_json(
+    const std::string& text) {
+  const JsonValue doc = base::parse_json(text);
+  const JsonObject& obj = doc.as_object();
+  if (obj.at("schema").as_string() != kChannelSchema)
+    throw base::JsonError("memo: unexpected channel-draws schema '" +
+                          obj.at("schema").as_string() + "'");
+  std::vector<uwb::ChannelRealization> draws;
+  for (const JsonValue& row : obj.at("draws").as_array()) {
+    uwb::ChannelRealization cr;
+    for (const JsonValue& tap : row.as_array()) {
+      const JsonArray& pair = tap.as_array();
+      if (pair.size() != 2)
+        throw base::JsonError("memo: channel tap is not a [delay, gain] pair");
+      cr.taps.push_back({pair[0].as_number(), pair[1].as_number()});
+    }
+    draws.push_back(std::move(cr));
+  }
+  return draws;
+}
+
+std::vector<uwb::ChannelRealization> channel_draws_cached(
+    uwb::ChannelClass cls, const uwb::SalehValenzuelaParams& params,
+    std::uint64_t seed, int count) {
+  if (!enabled())
+    return uwb::draw_realizations_uncached(cls, params, seed, count);
+  const std::uint64_t key = channel_draws_content_key(cls, params, seed, count);
+  MemoState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.channel_mem.find(key);
+    if (it != s.channel_mem.end()) {
+      ++s.stats.channel_mem_hits;
+      return it->second;
+    }
+    if (s.disk != nullptr) {
+      std::string text;
+      if (s.disk->get(key, &text)) {
+        std::vector<uwb::ChannelRealization> draws =
+            channel_draws_from_json(text);
+        s.channel_mem.emplace(key, draws);
+        ++s.stats.channel_disk_hits;
+        return draws;
+      }
+    }
+    ++s.stats.channel_misses;
+  }
+  std::vector<uwb::ChannelRealization> draws =
+      uwb::draw_realizations_uncached(cls, params, seed, count);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.channel_mem.emplace(key, draws);
+  if (s.disk != nullptr) s.disk->put(key, channel_draws_to_json(draws));
+  return draws;
+}
+
+namespace {
+// Linking core wires the memo into uwb::draw_realizations: a plain
+// function-pointer store into zero-initialized state, safe at static-init
+// time from any TU ordering. The constructor attribute (not a dynamic
+// initializer of an unused static) keeps the hook a live root under LTO,
+// which is entitled to drop an initializer whose variable is never read.
+__attribute__((constructor)) void install_channel_provider() {
+  uwb::set_channel_draw_provider(&channel_draws_cached);
+}
+}  // namespace
+
 Stats stats() {
   MemoState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -152,6 +268,7 @@ void reset_for_tests() {
   MemoState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   s.mem.clear();
+  s.channel_mem.clear();
   s.stats = Stats{};
 }
 

@@ -23,12 +23,21 @@
 /// characterizations (distinct mismatch seeds, borrowed AC workspaces) do
 /// NOT route through here: their keys never repeat, and a borrowed
 /// workspace is per-task solver state the canonical form refuses to hash.
+/// A second memoizable intermediate rides the same machinery: channel
+/// realization draws. Linking this TU installs the provider hook of
+/// uwb::draw_realizations (uwb cannot link core, so the wiring is a
+/// function pointer), after which every (class, params, seed, count) draw
+/// batch is served from the in-process map and, under UWBAMS_CACHE, from
+/// the disk store — warm draws are byte-identical to cold ones because the
+/// %.17g serialization round-trips every finite double exactly.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/characterize.hpp"
+#include "uwb/channel.hpp"
 
 namespace uwbams::core::memo {
 
@@ -52,11 +61,36 @@ ItdCharacterization characterize_itd_cached(
 std::string characterization_to_json(const ItdCharacterization& ch);
 ItdCharacterization characterization_from_json(const std::string& text);
 
-/// Process-wide memo statistics (tests assert hit/miss behavior).
+/// Content key of one channel-draw batch:
+/// {code_version, kind, class, params, seed, count} canonical.
+std::uint64_t channel_draws_content_key(
+    uwb::ChannelClass cls, const uwb::SalehValenzuelaParams& params,
+    std::uint64_t seed, int count);
+
+/// uwb::draw_realizations_uncached with memoization — the body behind the
+/// provider hook this TU installs. Falls back to a plain draw when
+/// UWBAMS_MEMO=0.
+std::vector<uwb::ChannelRealization> channel_draws_cached(
+    uwb::ChannelClass cls, const uwb::SalehValenzuelaParams& params,
+    std::uint64_t seed, int count);
+
+/// Cache serialization of a draw batch (schema "uwbams-channel-draws-v1");
+/// exposed for the round-trip tests.
+std::string channel_draws_to_json(
+    const std::vector<uwb::ChannelRealization>& draws);
+std::vector<uwb::ChannelRealization> channel_draws_from_json(
+    const std::string& text);
+
+/// Process-wide memo statistics (tests assert hit/miss behavior). The
+/// channel_* counters track the channel-draw level separately so the
+/// characterization assertions stay exact.
 struct Stats {
   std::uint64_t mem_hits = 0;
   std::uint64_t disk_hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t channel_mem_hits = 0;
+  std::uint64_t channel_disk_hits = 0;
+  std::uint64_t channel_misses = 0;
 };
 Stats stats();
 /// Clears the in-process level and zeroes stats (tests only; the disk

@@ -8,22 +8,26 @@
 #include "base/faults.hpp"
 #include "base/random.hpp"
 #include "base/stats.hpp"
+#include "uwb/channel.hpp"
 
 namespace uwbams::net {
 
 namespace {
 
-// Cell index -> (range, noise, dppm) grid coordinates, row-major with dppm
-// fastest (the same order SurrogateTable stores cells in).
+// Cell index -> (range, noise, dppm, channel class) grid coordinates,
+// row-major with channel class fastest (the same order SurrogateTable
+// stores cells in).
 struct CellCoord {
-  double range_m, noise_psd, dppm;
+  double range_m, noise_psd, dppm, channel_class;
 };
 
 CellCoord cell_coord(const CalibrationConfig& cfg, std::size_t cell) {
+  const std::size_t nc = cfg.channel_class.size();
   const std::size_t np = cfg.dppm.size();
   const std::size_t nn = cfg.noise_psd.size();
-  return {cfg.ranges_m[cell / (nn * np)], cfg.noise_psd[(cell / np) % nn],
-          cfg.dppm[cell % np]};
+  return {cfg.ranges_m[cell / (nn * np * nc)],
+          cfg.noise_psd[(cell / (np * nc)) % nn],
+          cfg.dppm[(cell / nc) % np], cfg.channel_class[cell % nc]};
 }
 
 // Per-cell statistics accumulated from a batch of exchanges.
@@ -83,6 +87,12 @@ uwb::TwrIteration run_calibration_exchange(const CalibrationConfig& cfg,
   // how a population of U(-spread, spread) crystals actually pairs up.
   twr.clock_a.ppm = +0.5 * c.dppm;
   twr.clock_b.ppm = -0.5 * c.dppm;
+  // The channel-class axis swaps in that class's multipath statistics and
+  // d^n path-loss law together — a CM2 cell at 8 m really sees CM2's NLOS
+  // attenuation, not CM1's.
+  uwb::apply_channel_class(
+      &twr.sys, static_cast<uwb::ChannelClass>(
+                    static_cast<int>(c.channel_class)));
   twr.fresh_channel_per_iteration = true;
   // Per-(cell, sample) seed: every exchange is an independent realization,
   // and the (purpose, cell, sample) chain never collides with any other
@@ -107,7 +117,7 @@ SurrogateTable calibrate_surrogate(const CalibrationConfig& cfg,
     throw std::invalid_argument(
         "calibrate_surrogate: need >= 2 samples per cell");
   SurrogateTable table(cfg.ranges_m, cfg.noise_psd, cfg.dppm,
-                       cfg.outlier_threshold_m, cfg.seed,
+                       cfg.channel_class, cfg.outlier_threshold_m, cfg.seed,
                        cfg.samples_per_cell);
 
   const std::size_t cells = cfg.cell_count();
@@ -179,6 +189,7 @@ ValidationReport validate_surrogate(const SurrogateTable& table,
     v.range_m = coord.range_m;
     v.noise_psd = coord.noise_psd;
     v.dppm = coord.dppm;
+    v.channel_class = coord.channel_class;
     v.samples = f.samples;
     v.ok = f.ok;
     v.outliers = f.outliers;

@@ -2,8 +2,9 @@
 /// @brief Fits the PHY surrogate against the full-physics TWR engine.
 ///
 /// The calibration pipeline sweeps TwoWayRanging over a (range, noise PSD,
-/// |delta-ppm|) grid — every exchange an independent CM1 realization and
-/// noise stream — and fits each cell's ToA-error mixture (surrogate.hpp).
+/// |delta-ppm|, channel class) grid — every exchange an independent
+/// realization of the cell's CM class and its own noise stream — and fits
+/// each cell's ToA-error mixture (surrogate.hpp).
 /// Exchange seeds derive from (calibration seed, cell, sample) alone via
 /// fixed-purpose base::derive_seed sub-streams, so fanning the sweep over
 /// base::ParallelRunner is bit-identical for any --jobs.
@@ -37,6 +38,11 @@ struct CalibrationConfig {
   std::vector<double> ranges_m = {5.0, 8.0, 11.0};
   std::vector<double> noise_psd = {8e-19};
   std::vector<double> dppm = {0.0};
+  /// uwb::ChannelClass integer codes (0 = CM1 ... 3 = CM4) as doubles, the
+  /// same encoding the SurrogateTable axis uses. Each cell's exchanges run
+  /// with that class's multipath statistics *and* path-loss law
+  /// (uwb::apply_channel_class).
+  std::vector<double> channel_class = {0.0};
   int samples_per_cell = 16;
   /// Inlier/outlier split: |error| above this is a wrong-slot outlier
   /// (half a 128 ns symbol is ~9.6 m; half of that separates the clusters).
@@ -49,7 +55,8 @@ struct CalibrationConfig {
   }
 
   std::size_t cell_count() const {
-    return ranges_m.size() * noise_psd.size() * dppm.size();
+    return ranges_m.size() * noise_psd.size() * dppm.size() *
+           channel_class.size();
   }
 };
 
@@ -80,7 +87,7 @@ SurrogateTable calibrate_surrogate(const CalibrationConfig& cfg,
 /// cell is skipped, not failed).
 struct CellValidation {
   std::size_t cell_index = 0;
-  double range_m = 0.0, noise_psd = 0.0, dppm = 0.0;
+  double range_m = 0.0, noise_psd = 0.0, dppm = 0.0, channel_class = 0.0;
   int samples = 0;       ///< held-out exchanges run
   int ok = 0;            ///< held-out acquisitions
   int outliers = 0;      ///< held-out wrong-slot errors

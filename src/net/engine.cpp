@@ -8,6 +8,7 @@
 #include "base/faults.hpp"
 #include "base/random.hpp"
 #include "base/stats.hpp"
+#include "uwb/config.hpp"
 
 namespace uwbams::net {
 
@@ -62,6 +63,10 @@ NetScaleEngine::NetScaleEngine(const NetScaleConfig& cfg,
         "NetScaleEngine: exchanges_per_link must be in [1, 32]");
   if (cfg_.dropout_rounds < 1)
     throw std::invalid_argument("NetScaleEngine: dropout_rounds must be >= 1");
+  if (cfg_.channel_class < 0 ||
+      cfg_.channel_class >= uwb::kChannelClassCount)
+    throw std::invalid_argument(
+        "NetScaleEngine: channel_class must be a ChannelClass code (0..3)");
   if (table_.cell_count() == 0)
     throw std::invalid_argument("NetScaleEngine: surrogate table is empty");
 
@@ -200,7 +205,8 @@ void NetScaleEngine::refresh_bias(int round) {
                           static_cast<std::uint64_t>(round), p.id));
       const double true_d = dist2d(anchors_[p.a], anchors_[p.b]);
       const double dppm = std::abs(anchor_ppm_[p.a] - anchor_ppm_[p.b]);
-      const SurrogateDraw d = table_.draw(true_d, cfg_.noise_psd, dppm, rng);
+      const SurrogateDraw d = table_.draw(true_d, cfg_.noise_psd, dppm,
+                                          cls(), rng);
       if (!d.ok) continue;
       // Anchors know their geometry exactly: subtract the cell's
       // calibrated bias and reject wrong-slot outliers outright. What
@@ -208,7 +214,7 @@ void NetScaleEngine::refresh_bias(int round) {
       // the surrogate calibration never saw.
       const double resid =
           d.error_m + cfg_.uncal_bias_m -
-          table_.lookup(true_d, cfg_.noise_psd, dppm).bias_m;
+          table_.lookup(true_d, cfg_.noise_psd, dppm, cls()).bias_m;
       if (std::abs(resid) <= table_.outlier_threshold_m())
         bias_stats_.add(resid);
     }
@@ -268,7 +274,8 @@ TagRound NetScaleEngine::measure_tag(int round, int tag) const {
     bool outlier_seen = false;
     for (int e = 0; e < cfg_.exchanges_per_link; ++e) {
       ++out.draws;
-      const SurrogateDraw d = table_.draw(true_d, cfg_.noise_psd, dppm, lr);
+      const SurrogateDraw d = table_.draw(true_d, cfg_.noise_psd, dppm,
+                                          cls(), lr);
       if (!d.ok) {
         ++out.failures;
         continue;
@@ -292,7 +299,8 @@ TagRound NetScaleEngine::measure_tag(int round, int tag) const {
     // links cannot separate a common bias from position, so the solver
     // must run with both removed. The cell is keyed on the *reported*
     // distance — the solver side does not know the true range.
-    const SurrogateCell& cell = table_.lookup(raw, cfg_.noise_psd, dppm);
+    const SurrogateCell& cell =
+        table_.lookup(raw, cfg_.noise_psd, dppm, cls());
     const double meas_d = std::max(0.0, raw - cell.bias_m - bias_est_);
     // Link-budget wrong-slot rejection: the radio cannot range past
     // max_range_m, so a corrected distance beyond it (+ slack for the

@@ -65,6 +65,11 @@ struct NetScaleConfig {
 
   /// Operating point handed to the surrogate lookup.
   double noise_psd = 8e-19;
+  /// Channel environment of the deployment: uwb::ChannelClass integer code
+  /// (0 = CM1 ... 3 = CM4), selecting the surrogate's channel-class axis
+  /// for every draw. The table must have been calibrated with that class
+  /// on its grid (nearest-cell lookup clamps otherwise).
+  int channel_class = 0;
   /// Per-node crystal offsets ~ U(-ppm_spread, +ppm_spread); the link's
   /// |ppm difference| selects the surrogate's dppm axis.
   double ppm_spread = 20.0;
@@ -156,6 +161,8 @@ class NetScaleEngine {
   void round_begin(int round, std::vector<Event>* queue, std::uint64_t* seq);
   void refresh_bias(int round);
   TagRound measure_tag(int round, int tag) const;
+  /// The configured channel class as the surrogate's axis coordinate.
+  double cls() const { return static_cast<double>(cfg_.channel_class); }
 
   NetScaleConfig cfg_;
   const SurrogateTable& table_;

@@ -42,39 +42,50 @@ std::vector<double> axis_from_json(const JsonValue& v) {
 SurrogateTable::SurrogateTable(std::vector<double> ranges_m,
                                std::vector<double> noise_psd,
                                std::vector<double> dppm,
+                               std::vector<double> channel_class,
                                double outlier_threshold_m,
                                std::uint64_t calib_seed, int samples_per_cell)
     : ranges_m_(std::move(ranges_m)),
       noise_psd_(std::move(noise_psd)),
       dppm_(std::move(dppm)),
+      channel_class_(std::move(channel_class)),
       outlier_threshold_m_(outlier_threshold_m),
       calib_seed_(calib_seed),
       samples_per_cell_(samples_per_cell) {
   check_axis(ranges_m_, "range");
   check_axis(noise_psd_, "noise");
   check_axis(dppm_, "dppm");
+  check_axis(channel_class_, "channel_class");
   if (outlier_threshold_m_ <= 0.0)
     throw std::invalid_argument(
         "SurrogateTable: outlier threshold must be positive");
-  cells_.resize(ranges_m_.size() * noise_psd_.size() * dppm_.size());
+  cells_.resize(ranges_m_.size() * noise_psd_.size() * dppm_.size() *
+                channel_class_.size());
   for (std::size_t ri = 0; ri < ranges_m_.size(); ++ri)
     for (std::size_t ni = 0; ni < noise_psd_.size(); ++ni)
-      for (std::size_t pi = 0; pi < dppm_.size(); ++pi) {
-        SurrogateCell& c = cell(ri, ni, pi);
-        c.range_m = ranges_m_[ri];
-        c.noise_psd = noise_psd_[ni];
-        c.dppm = dppm_[pi];
-      }
+      for (std::size_t pi = 0; pi < dppm_.size(); ++pi)
+        for (std::size_t ci = 0; ci < channel_class_.size(); ++ci) {
+          SurrogateCell& c = cell(ri, ni, pi, ci);
+          c.range_m = ranges_m_[ri];
+          c.noise_psd = noise_psd_[ni];
+          c.dppm = dppm_[pi];
+          c.channel_class = channel_class_[ci];
+        }
 }
 
 SurrogateCell& SurrogateTable::cell(std::size_t ri, std::size_t ni,
-                                    std::size_t pi) {
-  return cells_[(ri * noise_psd_.size() + ni) * dppm_.size() + pi];
+                                    std::size_t pi, std::size_t ci) {
+  return cells_[((ri * noise_psd_.size() + ni) * dppm_.size() + pi) *
+                    channel_class_.size() +
+                ci];
 }
 
 const SurrogateCell& SurrogateTable::cell(std::size_t ri, std::size_t ni,
-                                          std::size_t pi) const {
-  return cells_[(ri * noise_psd_.size() + ni) * dppm_.size() + pi];
+                                          std::size_t pi,
+                                          std::size_t ci) const {
+  return cells_[((ri * noise_psd_.size() + ni) * dppm_.size() + pi) *
+                    channel_class_.size() +
+                ci];
 }
 
 std::size_t SurrogateTable::axis_index(const std::vector<double>& axis,
@@ -94,17 +105,20 @@ std::size_t SurrogateTable::axis_index(const std::vector<double>& axis,
 }
 
 const SurrogateCell& SurrogateTable::lookup(double range_m, double noise_psd,
-                                            double dppm) const {
+                                            double dppm,
+                                            double channel_class) const {
   if (cells_.empty())
     throw std::logic_error("SurrogateTable: lookup on an empty table");
   return cell(axis_index(ranges_m_, range_m),
               axis_index(noise_psd_, noise_psd),
-              axis_index(dppm_, std::abs(dppm)));
+              axis_index(dppm_, std::abs(dppm)),
+              axis_index(channel_class_, channel_class));
 }
 
 SurrogateDraw SurrogateTable::draw(double range_m, double noise_psd,
-                                   double dppm, base::Rng& rng) const {
-  const SurrogateCell& c = lookup(range_m, noise_psd, dppm);
+                                   double dppm, double channel_class,
+                                   base::Rng& rng) const {
+  const SurrogateCell& c = lookup(range_m, noise_psd, dppm, channel_class);
   SurrogateDraw d;
   if (rng.uniform() < c.p_fail) return d;  // acquisition failure
   d.ok = true;
@@ -122,19 +136,21 @@ SurrogateDraw SurrogateTable::draw(double range_m, double noise_psd,
 
 std::string SurrogateTable::to_json() const {
   JsonObject root;
-  root["schema"] = JsonValue("uwbams-surrogate-v1");
+  root["schema"] = JsonValue("uwbams-surrogate-v2");
   root["calib_seed"] = JsonValue(static_cast<double>(calib_seed_));
   root["samples_per_cell"] = JsonValue(samples_per_cell_);
   root["outlier_threshold_m"] = JsonValue(outlier_threshold_m_);
   root["range_m"] = axis_json(ranges_m_);
   root["noise_psd"] = axis_json(noise_psd_);
   root["dppm"] = axis_json(dppm_);
+  root["channel_class"] = axis_json(channel_class_);
   JsonArray cells;
   for (const auto& c : cells_) {
     JsonObject o;
     o["range_m"] = JsonValue(c.range_m);
     o["noise_psd"] = JsonValue(c.noise_psd);
     o["dppm"] = JsonValue(c.dppm);
+    o["channel_class"] = JsonValue(c.channel_class);
     o["samples"] = JsonValue(c.samples);
     o["ok"] = JsonValue(c.ok);
     o["outliers"] = JsonValue(c.outliers);
@@ -153,12 +169,16 @@ std::string SurrogateTable::to_json() const {
 SurrogateTable SurrogateTable::from_json(const std::string& text) {
   const JsonValue root = parse_json(text);
   const std::string schema = root.at("schema").as_string();
-  if (schema != "uwbams-surrogate-v1")
+  // v1 tables predate the channel-class axis; their statistics cannot be
+  // re-mapped onto the new grid, so stale artifacts force a re-calibration
+  // instead of silently standing in for CM1.
+  if (schema != "uwbams-surrogate-v2")
     throw std::invalid_argument("SurrogateTable: unknown schema '" + schema +
                                 "'");
   SurrogateTable t(
       axis_from_json(root.at("range_m")), axis_from_json(root.at("noise_psd")),
       axis_from_json(root.at("dppm")),
+      axis_from_json(root.at("channel_class")),
       root.at("outlier_threshold_m").as_number(),
       static_cast<std::uint64_t>(root.at("calib_seed").as_number()),
       static_cast<int>(root.at("samples_per_cell").as_number()));
@@ -173,7 +193,8 @@ SurrogateTable SurrogateTable::from_json(const std::string& text) {
     // instead of silently re-mapping statistics onto the wrong geometry.
     if (o.at("range_m").as_number() != c.range_m ||
         o.at("noise_psd").as_number() != c.noise_psd ||
-        o.at("dppm").as_number() != c.dppm)
+        o.at("dppm").as_number() != c.dppm ||
+        o.at("channel_class").as_number() != c.channel_class)
       throw std::invalid_argument(
           "SurrogateTable: cell " + std::to_string(i) +
           " is out of row-major grid order");

@@ -5,7 +5,7 @@
 /// (~45 ms per TWR exchange), so O(N^2) full-physics ranging caps networks
 /// at ~16 nodes. The surrogate replaces a *single exchange* by a draw from
 /// a per-cell ToA-error distribution that was fitted against the real
-/// engine over a (range, noise PSD, |delta-ppm|) grid:
+/// engine over a (range, noise PSD, |delta-ppm|, channel class) grid:
 ///
 ///   * `p_fail`     — acquisition-failure probability (no estimate at all);
 ///   * `p_outlier`  — wrong-slot probability among successful exchanges
@@ -35,11 +35,13 @@
 
 namespace uwbams::net {
 
-/// Fitted error statistics of one (range, noise, dppm) grid cell.
+/// Fitted error statistics of one (range, noise, dppm, channel class) grid
+/// cell.
 struct SurrogateCell {
   double range_m = 0.0;     ///< cell's true node separation [m]
   double noise_psd = 0.0;   ///< receiver-input N0 [V^2/Hz]
   double dppm = 0.0;        ///< |ppm_a - ppm_b| crystal offset split
+  double channel_class = 0.0;  ///< uwb::ChannelClass as its integer code
   int samples = 0;          ///< calibration exchanges run for this cell
   int ok = 0;               ///< exchanges that acquired
   int outliers = 0;         ///< ok exchanges beyond the outlier threshold
@@ -66,14 +68,18 @@ class SurrogateTable {
  public:
   SurrogateTable() = default;
   /// Axes must be non-empty and strictly increasing; cells row-major over
-  /// ranges x noise x dppm (dppm fastest). Throws std::invalid_argument.
+  /// ranges x noise x dppm x channel_class (class fastest). The class axis
+  /// carries uwb::ChannelClass integer codes (0..3) as doubles so the grid
+  /// machinery is uniform across axes. Throws std::invalid_argument.
   SurrogateTable(std::vector<double> ranges_m, std::vector<double> noise_psd,
-                 std::vector<double> dppm, double outlier_threshold_m,
-                 std::uint64_t calib_seed, int samples_per_cell);
+                 std::vector<double> dppm, std::vector<double> channel_class,
+                 double outlier_threshold_m, std::uint64_t calib_seed,
+                 int samples_per_cell);
 
   const std::vector<double>& ranges_m() const { return ranges_m_; }
   const std::vector<double>& noise_psd() const { return noise_psd_; }
   const std::vector<double>& dppm() const { return dppm_; }
+  const std::vector<double>& channel_class() const { return channel_class_; }
   double outlier_threshold_m() const { return outlier_threshold_m_; }
   std::uint64_t calib_seed() const { return calib_seed_; }
   int samples_per_cell() const { return samples_per_cell_; }
@@ -82,14 +88,15 @@ class SurrogateTable {
   /// Flat row-major cell access (the calibration fitter writes through
   /// this; tests build synthetic tables with it).
   SurrogateCell& cell_at(std::size_t i) { return cells_.at(i); }
-  SurrogateCell& cell(std::size_t ri, std::size_t ni, std::size_t pi);
-  const SurrogateCell& cell(std::size_t ri, std::size_t ni,
-                            std::size_t pi) const;
+  SurrogateCell& cell(std::size_t ri, std::size_t ni, std::size_t pi,
+                      std::size_t ci);
+  const SurrogateCell& cell(std::size_t ri, std::size_t ni, std::size_t pi,
+                            std::size_t ci) const;
   const std::vector<SurrogateCell>& cells() const { return cells_; }
 
   /// Nearest grid cell per axis (clamped at the grid edges).
-  const SurrogateCell& lookup(double range_m, double noise_psd,
-                              double dppm) const;
+  const SurrogateCell& lookup(double range_m, double noise_psd, double dppm,
+                              double channel_class) const;
 
   /// Draws one surrogate TWR measurement for a link of true length
   /// `range_m`. Consumes a fixed draw pattern from `rng` (fail uniform,
@@ -97,9 +104,10 @@ class SurrogateTable {
   /// hand each measurement its own derive_seed sub-stream get results
   /// independent of evaluation order and worker count.
   SurrogateDraw draw(double range_m, double noise_psd, double dppm,
-                     base::Rng& rng) const;
+                     double channel_class, base::Rng& rng) const;
 
-  /// JSON artifact round trip (schema "uwbams-surrogate-v1"; see
+  /// JSON artifact round trip (schema "uwbams-surrogate-v2"; v1 files
+  /// lack the channel-class axis and are rejected — re-calibrate, see
   /// docs/netscale.md). from_json throws base::JsonError or
   /// std::invalid_argument on schema violations.
   std::string to_json() const;
@@ -113,6 +121,7 @@ class SurrogateTable {
   std::vector<double> ranges_m_;
   std::vector<double> noise_psd_;
   std::vector<double> dppm_;
+  std::vector<double> channel_class_;
   double outlier_threshold_m_ = 4.8;
   std::uint64_t calib_seed_ = 0;
   int samples_per_cell_ = 0;

@@ -41,12 +41,14 @@ std::uint64_t surrogate_content_key(const CalibrationConfig& cfg,
   JsonObject obj;
   obj["code_version"] =
       JsonValue(std::string(core::canonical::kCodeVersion));
-  obj["kind"] = JsonValue(std::string("uwbams-surrogate-cal/1"));
+  // /2: the cached artifact is a schema-v2 table (channel-class axis).
+  obj["kind"] = JsonValue(std::string("uwbams-surrogate-cal/2"));
   obj["integrator"] = JsonValue(std::string(core::to_string(kind)));
   obj["twr"] = core::canonical::to_json(cfg.twr);
   obj["ranges_m"] = axis(cfg.ranges_m);
   obj["noise_psd"] = axis(cfg.noise_psd);
   obj["dppm"] = axis(cfg.dppm);
+  obj["channel_class"] = axis(cfg.channel_class);
   obj["samples_per_cell"] = JsonValue(cfg.samples_per_cell);
   obj["outlier_threshold_m"] = JsonValue(cfg.outlier_threshold_m);
   obj["seed"] = JsonValue(base::hex_u64(cfg.seed));

@@ -1,9 +1,12 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "base/checkpoint.hpp"
 
@@ -13,7 +16,24 @@ namespace fs = std::filesystem;
 
 ResultCache::ResultCache(std::string dir, std::size_t mem_entries)
     : dir_(std::move(dir)), mem_entries_(mem_entries == 0 ? 1 : mem_entries) {
-  if (!dir_.empty()) fs::create_directories(dir_);
+  if (dir_.empty()) return;
+  fs::create_directories(dir_);
+  if (const char* mb = std::getenv("UWBAMS_CACHE_MAX_MB")) {
+    char* end = nullptr;
+    const double v = std::strtod(mb, &end);
+    if (end != mb && v > 0.0)
+      disk_max_bytes_ = static_cast<std::uintmax_t>(v * 1024.0 * 1024.0);
+  }
+}
+
+void ResultCache::set_disk_max_bytes(std::uintmax_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_max_bytes_ = bytes;
+}
+
+std::uintmax_t ResultCache::disk_max_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_max_bytes_;
 }
 
 std::string ResultCache::entry_path(std::uint64_t key) const {
@@ -56,6 +76,12 @@ bool ResultCache::get(std::uint64_t key, std::string* out) {
         *out = ss.str();
         insert_mem_locked(key, *out);
         ++stats_.disk_hits;
+        // Refresh the entry's recency so the size-capped eviction sees it
+        // as hot (best-effort: a failed touch only ages it).
+        std::error_code ec;
+        fs::last_write_time(entry_path(key),
+                            std::filesystem::file_time_type::clock::now(),
+                            ec);
         return true;
       }
     }
@@ -84,6 +110,51 @@ void ResultCache::put(std::uint64_t key, const std::string& payload) {
                                tmp_path.string());
   }
   fs::rename(tmp_path, final_path);
+  if (disk_max_bytes_ > 0) evict_disk_locked(final_path.string());
+}
+
+// Walks the store and deletes least-recently-used entries until the summed
+// size fits under disk_max_bytes_. `spare_path` (the entry just written) is
+// never deleted, so the cap degenerates gracefully: one oversized payload
+// keeps exactly itself.
+void ResultCache::evict_disk_locked(const std::string& spare_path) {
+  struct DiskEntry {
+    fs::file_time_type mtime;
+    std::string path;
+    std::uintmax_t size;
+  };
+  std::vector<DiskEntry> entries;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.rfind("entry_", 0) != 0 || de.path().extension() != ".json")
+      continue;
+    std::error_code fec;
+    const std::uintmax_t size = de.file_size(fec);
+    if (fec) continue;
+    const fs::file_time_type mtime = de.last_write_time(fec);
+    if (fec) continue;
+    entries.push_back({mtime, de.path().string(), size});
+    total += size;
+  }
+  if (ec || total <= disk_max_bytes_) return;
+  // Oldest first; filename tie-break keeps the order total when a burst of
+  // puts lands within the filesystem's mtime resolution.
+  std::sort(entries.begin(), entries.end(),
+            [](const DiskEntry& a, const DiskEntry& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  for (const DiskEntry& e : entries) {
+    if (total <= disk_max_bytes_) break;
+    if (e.path == spare_path) continue;
+    std::error_code rec;
+    if (fs::remove(e.path, rec) && !rec) {
+      total -= e.size;
+      ++stats_.disk_evictions;
+    }
+  }
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -18,6 +18,13 @@
 /// the next put. Payload validity is the caller's contract: layers that
 /// must survive hostile on-disk edits (the surrogate loader) re-validate
 /// the payload and fall back to recomputation on a parse failure.
+///
+/// The disk level is size-capped LRU: UWBAMS_CACHE_MAX_MB (or
+/// set_disk_max_bytes) bounds the summed entry size; a put that pushes the
+/// store past the cap deletes least-recently-used entries — oldest mtime
+/// first, filename tie-break — until it fits, never touching the entry just
+/// written. Disk reads refresh the entry's mtime, so a hot entry survives
+/// churn. Default: unbounded (the historical behavior).
 #pragma once
 
 #include <cstddef>
@@ -37,9 +44,12 @@ class ResultCache {
     std::uint64_t misses = 0;     ///< not present anywhere
     std::uint64_t puts = 0;       ///< entries stored
     std::uint64_t evictions = 0;  ///< memory entries displaced by LRU
+    std::uint64_t disk_evictions = 0;  ///< disk entries removed by the cap
   };
 
-  /// `dir` empty = memory-only. `mem_entries` bounds the LRU (>= 1).
+  /// `dir` empty = memory-only. `mem_entries` bounds the LRU (>= 1). The
+  /// disk cap initializes from UWBAMS_CACHE_MAX_MB when set (fractional
+  /// megabytes accepted; <= 0 or unparsable means unbounded).
   explicit ResultCache(std::string dir = "", std::size_t mem_entries = 64);
 
   /// True (payload in *out) on a hit; promotes the entry to most-recent.
@@ -51,14 +61,21 @@ class ResultCache {
   const std::string& dir() const { return dir_; }
   Stats stats() const;
 
+  /// Overrides the disk size cap (bytes; 0 = unbounded). Takes effect on
+  /// the next put — existing entries are not scanned eagerly.
+  void set_disk_max_bytes(std::uintmax_t bytes);
+  std::uintmax_t disk_max_bytes() const;
+
   /// entry_<0x%016llx>.json under `dir` ("" when memory-only).
   std::string entry_path(std::uint64_t key) const;
 
  private:
   void insert_mem_locked(std::uint64_t key, const std::string& payload);
+  void evict_disk_locked(const std::string& spare_path);
 
   std::string dir_;
   std::size_t mem_entries_;
+  std::uintmax_t disk_max_bytes_ = 0;  ///< 0 = unbounded
   // Most-recent-first (key, payload) list + key -> node index.
   std::list<std::pair<std::uint64_t, std::string>> lru_;
   std::map<std::uint64_t,

@@ -7,6 +7,7 @@
 #include "base/random.hpp"
 #include "base/units.hpp"
 #include "uwb/channel.hpp"
+#include "uwb/interference.hpp"
 #include "uwb/pulse.hpp"
 #include "uwb/transmitter.hpp"
 
@@ -14,25 +15,29 @@ namespace uwbams::uwb {
 
 namespace {
 
+// Fixed-purpose sub-stream of the per-point multipath realization draw.
+constexpr std::uint64_t kBerChannelPurpose = 0x62657263;  // "berc"
+
 // One self-contained genie link reused across batches of a sweep point.
 struct GenieLink {
   SystemConfig sys;
   ams::Kernel kernel;
   Transmitter tx;
   ChannelBlock chan;
+  InterferenceSet interf;
   Receiver rx;
   double prop_delay;
 
   GenieLink(const SystemConfig& cfg, const IntegratorFactory& make_integrator)
       : sys(cfg), kernel(cfg.dt), tx(cfg), chan(cfg, nullptr),
-        rx(kernel, cfg,
-           [&]() {
-             kernel.add_analog(tx);
-             kernel.add_analog(chan);
-             chan.set_input(tx.out());
-             return chan.out();
-           }(),
-           make_integrator),
+        interf(kernel, cfg,
+               [&]() {
+                 kernel.add_analog(tx);
+                 kernel.add_analog(chan);
+                 chan.set_input(tx.out());
+                 return chan.out();
+               }()),
+        rx(kernel, cfg, interf.out(), make_integrator),
         prop_delay(cfg.distance / units::speed_of_light) {
     // Every registered block is batch-capable and block-wired, so the
     // event-bounded batched path applies (bit-identical to per-sample).
@@ -102,7 +107,18 @@ std::vector<BerPoint> run_ber_sweep(const BerConfig& config,
     const double n0 = eb_rx / units::db_to_pow(ebn0_db);
 
     GenieLink link(sys, make_integrator);
-    link.chan.set_awgn_only(config.rx_pulse_peak / sys.pulse_amplitude);
+    const double amp_scale = config.rx_pulse_peak / sys.pulse_amplitude;
+    if (sys.multipath) {
+      // One realization per sweep point (the coex/channel-class scenarios
+      // average over points and seeds). Unit-energy taps keep the mean
+      // received energy equal to the AWGN case, so Eb/N0 stays honest.
+      const auto reals = draw_realizations(
+          sys.channel_class, channel_class_params(sys.channel_class),
+          base::derive_seed(sys.seed, kBerChannelPurpose), 1);
+      link.chan.set_realization(reals.front(), amp_scale);
+    } else {
+      link.chan.set_awgn_only(amp_scale);
+    }
     link.chan.set_noise_psd(n0);
     link.chan.reseed(sys.seed * 7 + 3);
 

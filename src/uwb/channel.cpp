@@ -26,14 +26,103 @@ double ChannelRealization::rms_delay_spread() const {
   return std::sqrt(std::max(m2 - m1 * m1, 0.0));
 }
 
+double ChannelRealization::mean_excess_delay() const {
+  const double e = total_energy();
+  if (e <= 0.0) return 0.0;
+  double m1 = 0.0;
+  for (const auto& t : taps) m1 += t.gain * t.gain / e * t.delay;
+  return m1;
+}
+
 double ChannelRealization::peak_gain() const {
   double g = 0.0;
   for (const auto& t : taps) g = std::max(g, std::abs(t.gain));
   return g;
 }
 
-ChannelRealization generate_cm1(base::Rng& rng,
-                                const SalehValenzuelaParams& p) {
+const char* to_string(ChannelClass c) {
+  switch (c) {
+    case ChannelClass::kCm1: return "cm1";
+    case ChannelClass::kCm2: return "cm2";
+    case ChannelClass::kCm3: return "cm3";
+    case ChannelClass::kCm4: return "cm4";
+  }
+  return "?";
+}
+
+bool parse_channel_class(const std::string& text, ChannelClass* out) {
+  for (const ChannelClass c : {ChannelClass::kCm1, ChannelClass::kCm2,
+                               ChannelClass::kCm3, ChannelClass::kCm4}) {
+    if (text == to_string(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+// TG4a final-report cluster/ray columns. CM1 must equal the struct
+// defaults exactly — test_channel pins `channel_class_params(kCm1) == {}`
+// and every historical scenario rides on that identity.
+SalehValenzuelaParams channel_class_params(ChannelClass cls) {
+  SalehValenzuelaParams p;  // the CM1 column
+  switch (cls) {
+    case ChannelClass::kCm1:
+      break;
+    case ChannelClass::kCm2:  // residential NLOS
+      p.cluster_rate = 0.12e9;
+      p.ray_rate1 = 1.77e9;
+      p.ray_rate2 = 0.15e9;
+      p.ray_mix_beta = 0.045;
+      p.cluster_decay = 26.27e-9;
+      p.ray_decay = 17.50e-9;
+      p.mean_clusters = 3.5;
+      p.los = false;
+      p.max_excess_delay = 200e-9;
+      break;
+    case ChannelClass::kCm3:  // office LOS
+      p.cluster_rate = 0.016e9;
+      p.ray_rate1 = 0.19e9;
+      p.ray_rate2 = 2.97e9;
+      p.ray_mix_beta = 0.0184;
+      p.cluster_decay = 14.6e-9;
+      p.ray_decay = 6.4e-9;
+      p.mean_clusters = 5.4;
+      break;
+    case ChannelClass::kCm4:  // office NLOS
+      p.cluster_rate = 0.19e9;
+      p.ray_rate1 = 0.11e9;
+      p.ray_rate2 = 2.09e9;
+      p.ray_mix_beta = 0.0096;
+      p.cluster_decay = 19.8e-9;
+      p.ray_decay = 11.2e-9;
+      p.mean_clusters = 3.1;
+      p.los = false;
+      p.max_excess_delay = 200e-9;
+      break;
+  }
+  return p;
+}
+
+void channel_class_path_loss(ChannelClass cls, double* exponent,
+                             double* pl0_db) {
+  switch (cls) {
+    case ChannelClass::kCm1: *exponent = 1.79; *pl0_db = 43.9; return;
+    case ChannelClass::kCm2: *exponent = 4.58; *pl0_db = 48.7; return;
+    case ChannelClass::kCm3: *exponent = 1.63; *pl0_db = 35.4; return;
+    case ChannelClass::kCm4: *exponent = 3.07; *pl0_db = 57.9; return;
+  }
+  throw std::invalid_argument("channel_class_path_loss: bad class");
+}
+
+void apply_channel_class(SystemConfig* sys, ChannelClass cls) {
+  sys->channel_class = cls;
+  channel_class_path_loss(cls, &sys->path_loss_exponent,
+                          &sys->path_loss_db_1m);
+}
+
+ChannelRealization generate_sv(base::Rng& rng,
+                               const SalehValenzuelaParams& p) {
   ChannelRealization cr;
 
   // Number of clusters: Poisson with mean L-bar, at least one (the LOS
@@ -70,11 +159,13 @@ ChannelRealization generate_cm1(base::Rng& rng,
           cluster_power * std::exp(-t_ray / p.ray_decay);
       if (omega < 1e-5 * cluster_power && t_ray > 3.0 * p.ray_decay) break;
       // Nakagami-m magnitude with lognormal m (clamped to >= 0.5 where the
-      // Nakagami distribution is defined). The LOS first path uses the
-      // higher first-component m of the 4a report.
+      // Nakagami distribution is defined). The gaussian is drawn even when
+      // the first-path override applies — the draw order is pinned. LOS
+      // classes give the first path the higher first-component m of the
+      // 4a report; NLOS classes fade every ray.
       double m = p.nakagami_m_median *
                  std::exp(p.nakagami_m_sigma * rng.gaussian());
-      if (c == 0 && t_ray == 0.0) m = p.nakagami_m_first;
+      if (p.los && c == 0 && t_ray == 0.0) m = p.nakagami_m_first;
       m = std::max(m, 0.5);
       const double amp = rng.nakagami(m, omega);
       const double sign = rng.bit() ? 1.0 : -1.0;
@@ -104,6 +195,35 @@ ChannelRealization generate_cm1(base::Rng& rng,
   const double norm = 1.0 / std::sqrt(e);
   for (auto& t : cr.taps) t.gain *= norm;
   return cr;
+}
+
+namespace {
+// The installed memoizing provider (core/memo.cpp's registrar). A plain
+// zero-initialized function pointer: no static-initialization-order hazard.
+ChannelDrawProvider g_channel_draw_provider = nullptr;
+}  // namespace
+
+void set_channel_draw_provider(ChannelDrawProvider fn) {
+  g_channel_draw_provider = fn;
+}
+
+std::vector<ChannelRealization> draw_realizations_uncached(
+    ChannelClass cls, const SalehValenzuelaParams& params, std::uint64_t seed,
+    int count) {
+  (void)cls;  // the params carry the class; cls keys the memo document
+  base::Rng rng(seed);
+  std::vector<ChannelRealization> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(generate_sv(rng, params));
+  return out;
+}
+
+std::vector<ChannelRealization> draw_realizations(
+    ChannelClass cls, const SalehValenzuelaParams& params, std::uint64_t seed,
+    int count) {
+  if (g_channel_draw_provider != nullptr)
+    return g_channel_draw_provider(cls, params, seed, count);
+  return draw_realizations_uncached(cls, params, seed, count);
 }
 
 double path_loss_db(double distance_m, double pl0_db, double exponent) {

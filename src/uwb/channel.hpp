@@ -1,16 +1,19 @@
 /// @file channel.hpp
-/// @brief IEEE 802.15.4a CM1 channel model + AWGN propagation block.
+/// @brief IEEE 802.15.4a channel classes (CM1–CM4) + AWGN propagation block.
 ///
 /// The TWR experiments of the paper use "the TG4a UWB channel model CM1 LOS
-/// with the recommended path loss". CM1 (residential LOS) is a
-/// Saleh-Valenzuela model: Poisson cluster arrivals with exponential
+/// with the recommended path loss". All four TG4a environment classes share
+/// one Saleh-Valenzuela draw: Poisson cluster arrivals with exponential
 /// inter-cluster decay, mixed-Poisson ray arrivals with exponential
-/// intra-cluster decay, Nakagami-m small-scale fading per ray (lognormal m),
-/// and a d^n path-loss law. Parameters below are the TG4a final-report CM1
-/// values.
+/// intra-cluster decay, Nakagami-m small-scale fading per ray (lognormal m,
+/// enhanced first-path m for LOS classes only), and a d^n path-loss law.
+/// The per-class parameter table (channel_class_params) carries the TG4a
+/// final-report values; the `SalehValenzuelaParams` defaults ARE the CM1
+/// column, so `ChannelClass::kCm1` is the bit-exact historical identity.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ams/kernel.hpp"
@@ -32,9 +35,33 @@ struct SalehValenzuelaParams {
   double nakagami_m_first = 3.0;   ///< LOS first path fades much less (4a
                                    ///< report: stronger m for the first
                                    ///< component)
+  /// LOS class: the zero-delay ray of the first cluster gets the enhanced
+  /// nakagami_m_first. NLOS classes (CM2/CM4) have no deterministic strong
+  /// first component, so every ray fades with the lognormal m.
+  bool los = true;
   double max_excess_delay = 120e-9;  ///< truncation of the power-delay profile
   int max_taps = 64;               ///< keep this many strongest taps
+
+  bool operator==(const SalehValenzuelaParams&) const = default;
 };
+
+/// TG4a final-report cluster/ray parameters for an environment class. The
+/// kCm1 column equals `SalehValenzuelaParams{}` exactly (pinned by
+/// test_channel) — the refactor hinges on that identity.
+SalehValenzuelaParams channel_class_params(ChannelClass cls);
+
+/// Per-class d^n path-loss law: exponent n and PL0 [dB at 1 m] (TG4a
+/// final report; CM1 matches the SystemConfig defaults).
+void channel_class_path_loss(ChannelClass cls, double* exponent,
+                             double* pl0_db);
+
+/// Installs a class on a SystemConfig: sets `channel_class` plus the
+/// class's recommended path-loss law. kCm1 leaves a default config
+/// bit-identical.
+void apply_channel_class(SystemConfig* sys, ChannelClass cls);
+
+/// Exact-match parse of the canonical names ("cm1".."cm4").
+bool parse_channel_class(const std::string& text, ChannelClass* out);
 
 struct ChannelTap {
   double delay = 0.0;  ///< excess delay relative to the first path [s]
@@ -47,13 +74,49 @@ struct ChannelRealization {
   double total_energy() const;
   /// RMS delay spread of the tap powers [s].
   double rms_delay_spread() const;
+  /// First moment of the power-delay profile (mean excess delay) [s].
+  double mean_excess_delay() const;
   /// Peak |gain|.
   double peak_gain() const;
 };
 
-/// Draws a CM1 realization with unit energy (before path loss).
-ChannelRealization generate_cm1(base::Rng& rng,
-                                const SalehValenzuelaParams& params = {});
+/// Draws one Saleh-Valenzuela realization with unit energy (before path
+/// loss). The draw order is pinned — tests byte-compare downstream CSVs.
+ChannelRealization generate_sv(base::Rng& rng,
+                               const SalehValenzuelaParams& params);
+
+/// Historical CM1 entry point; with default params this is bit-identical
+/// to generate_sv(rng, channel_class_params(ChannelClass::kCm1)).
+inline ChannelRealization generate_cm1(base::Rng& rng,
+                                       const SalehValenzuelaParams& params = {}) {
+  return generate_sv(rng, params);
+}
+
+/// --- memoizable multi-realization draw -----------------------------------
+/// `draw_realizations(cls, params, seed, count)` is the one entry point the
+/// link-level code uses for channel draws keyed by (params, seed): it seeds
+/// a fresh Rng with `seed` and draws `count` realizations sequentially —
+/// bit-identical to the historical `Rng chan_rng(seed); generate_cm1(...)
+/// x count` pattern. When core::memo is linked it installs a provider that
+/// serves warm byte-identical draws from the UWBAMS_CACHE store; without a
+/// provider (or with caching disabled) the uncached path runs. uwb cannot
+/// link core (layering), hence the hook.
+using ChannelDrawProvider = std::vector<ChannelRealization> (*)(
+    ChannelClass cls, const SalehValenzuelaParams& params, std::uint64_t seed,
+    int count);
+
+/// Installs the memoizing provider (nullptr restores the uncached path).
+void set_channel_draw_provider(ChannelDrawProvider fn);
+
+/// The raw draw: fresh Rng(seed), `count` sequential generate_sv calls.
+std::vector<ChannelRealization> draw_realizations_uncached(
+    ChannelClass cls, const SalehValenzuelaParams& params, std::uint64_t seed,
+    int count);
+
+/// Provider-routed draw (falls back to the uncached path).
+std::vector<ChannelRealization> draw_realizations(
+    ChannelClass cls, const SalehValenzuelaParams& params, std::uint64_t seed,
+    int count);
 
 /// Free-space-style distance attenuation: PL(d) = PL0 + 10 n log10(d/1m) [dB].
 double path_loss_db(double distance_m, double pl0_db, double exponent);

@@ -14,6 +14,47 @@
 
 namespace uwbams::uwb {
 
+/// IEEE 802.15.4a channel environment classes (TG4a final report). The
+/// numeric values are the canonical-axis encoding used by the surrogate
+/// grid (net::SurrogateTable) and must stay dense and stable.
+enum class ChannelClass : int {
+  kCm1 = 0,  ///< residential LOS — the paper's Table-2 environment
+  kCm2 = 1,  ///< residential NLOS
+  kCm3 = 2,  ///< office LOS
+  kCm4 = 3,  ///< office NLOS
+};
+
+constexpr int kChannelClassCount = 4;
+
+/// Canonical lower-case names ("cm1".."cm4"); see channel.cpp.
+const char* to_string(ChannelClass c);
+
+/// In-band interference at the receiver antenna: one narrowband CW tone
+/// plus N uncoordinated concurrent-piconet UWB interferers. The default
+/// (all-off) set is the bit-exact identity — no blocks are registered and
+/// the rf wiring is untouched. Each interferer draws its symbols from its
+/// own derive_seed sub-stream (docs/channels.md has the seeding contract).
+struct InterferenceConfig {
+  /// Narrowband CW blocker (0 amplitude = off). The default frequency sits
+  /// inside the detector noise bandwidth so the tone survives the VGA pole.
+  double cw_amplitude = 0.0;  ///< peak amplitude at the antenna [V]
+  double cw_freq = 0.31e9;    ///< [Hz]
+  double cw_phase = 0.0;      ///< [rad]
+
+  /// Concurrent-piconet UWB interferers: each is an independent 2-PPM
+  /// burst transmitter reusing the victim's pulse shape, offset in time
+  /// and running on its own symbol clock (incommensurate with the victim
+  /// Ts so collisions sweep through every relative phase).
+  int uwb_count = 0;
+  double uwb_amplitude = 0.0;        ///< per-interferer peak at the rx [V]
+  double uwb_symbol_period = 122e-9; ///< interferer Ts [s]
+
+  bool any() const {
+    return cw_amplitude != 0.0 || (uwb_count > 0 && uwb_amplitude != 0.0);
+  }
+  bool operator==(const InterferenceConfig&) const = default;
+};
+
 struct SystemConfig {
   /// Solver / sampling.
   double dt = 0.05e-9;  ///< analog time step [s] (paper: 0.05 ns)
@@ -103,10 +144,18 @@ struct SystemConfig {
   double distance = 9.9;          ///< [m] (Table 2 point)
   double path_loss_exponent = 1.79;   ///< 4a CM1 LOS
   double path_loss_db_1m = 43.9;      ///< PL0 at d0 = 1 m
-  bool multipath = true;          ///< CM1 Saleh-Valenzuela vs pure AWGN
+  bool multipath = true;          ///< Saleh-Valenzuela vs pure AWGN
   double noise_psd = 0.0;         ///< N0 [V^2/Hz] at the receiver input
+  /// TG4a environment class for the multipath draw. kCm1 is the historical
+  /// default and the bit-exact identity for every existing scenario; use
+  /// apply_channel_class() (channel.hpp) to also install the class's
+  /// path-loss law. Canonically serialized as "cm1".."cm4".
+  ChannelClass channel_class = ChannelClass::kCm1;
 
   std::uint64_t seed = 1;
+
+  /// Interference environment (empty default = bit-exact identity).
+  InterferenceConfig interference;
 
   /// This node's local-oscillator nonideality (clock.hpp). The default
   /// (all-zero) config is the bit-exact identity, so single-node benches

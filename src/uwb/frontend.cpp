@@ -40,6 +40,24 @@ void Amplifier::step_block(const double* /*t*/, double dt, int n) {
   }
 }
 
+SummingJunction::SummingJunction(std::vector<const double*> inputs)
+    : in_(std::move(inputs)) {}
+
+void SummingJunction::step(double /*t*/, double /*dt*/) {
+  double acc = 0.0;
+  for (const double* src : in_) acc += *src;
+  out_[0] = acc;
+}
+
+void SummingJunction::step_block(const double* /*t*/, double /*dt*/, int n) {
+  // Sources outer, samples inner, accumulating in source order — each
+  // sample's sum is built in the same order as step(), so the batch path
+  // is bit-identical to the scalar path.
+  for (int i = 0; i < n; ++i) out_[i] = 0.0;
+  for (const double* src : in_)
+    for (int i = 0; i < n; ++i) out_[i] += src[i];
+}
+
 Squarer::Squarer(const double* input, double k) : in_(input), k_(k) {}
 
 void Squarer::step(double /*t*/, double /*dt*/) {

@@ -13,6 +13,8 @@
 /// auto-vectorizes; the one-pole recurrence stays serial but branch-free).
 #pragma once
 
+#include <vector>
+
 #include "ams/kernel.hpp"
 #include "ams/ode.hpp"
 
@@ -39,6 +41,27 @@ class Amplifier : public ams::AnalogBlock {
   double sat_;
   double bw_;
   ams::OnePoleState pole_;
+  double out_[ams::kMaxBatch] = {};
+};
+
+/// N-source summing junction at the rf node: out = sum of its inputs,
+/// accumulated in registration order (the floating-point sum order is part
+/// of the bit-exactness contract). Used by uwb/interference to merge the
+/// victim channel output with CW / concurrent-piconet interferers in front
+/// of the receiver chain; with a single input it is the identity map, but
+/// the interference layer skips it entirely in that case so the historical
+/// single-source wiring stays byte-identical.
+class SummingJunction : public ams::AnalogBlock {
+ public:
+  explicit SummingJunction(std::vector<const double*> inputs);
+
+  void step(double t, double dt) override;
+  bool supports_batch() const override { return true; }
+  void step_block(const double* t, double dt, int n) override;
+  const double* out() const { return out_; }
+
+ private:
+  std::vector<const double*> in_;
   double out_[ams::kMaxBatch] = {};
 };
 

@@ -15,10 +15,20 @@ PreambleSense::PreambleSense(const NoiseEstimator& noise, double factor,
   threshold_ = noise.mean() + std::max(factor * noise.stddev(), 2.0);
 }
 
+void PreambleSense::enable_adaptive_pnr(double ratio) { pnr_ratio_ = ratio; }
+
+double PreambleSense::current_threshold() const {
+  if (pnr_ratio_ <= 0.0) return threshold_;
+  return std::max(threshold_, peak_code_ / pnr_ratio_);
+}
+
 bool PreambleSense::add(int code) {
   if (detected_) return true;
+  if (pnr_ratio_ > 0.0)
+    peak_code_ = std::max(peak_code_, static_cast<double>(code));
+  const double thr = current_threshold();
   const unsigned span = 2u * static_cast<unsigned>(hits_needed_);
-  history_ = (history_ << 1) | (static_cast<double>(code) > threshold_ ? 1u : 0u);
+  history_ = (history_ << 1) | (static_cast<double>(code) > thr ? 1u : 0u);
   history_ &= (1u << span) - 1u;
   int hits = 0;
   for (unsigned i = 0; i < span; ++i)

@@ -40,14 +40,30 @@ class PreambleSense {
   /// *alternating* windows and a consecutive-hit rule would never fire.
   PreambleSense(const NoiseEstimator& noise, double factor, int hits_needed);
 
+  /// Opt-in adaptive peak-to-noise-ratio mode (the OTA-C peak-search
+  /// idiom): the working threshold becomes max(base, peak / ratio), where
+  /// peak is the largest window code seen so far. An interference burst
+  /// that spikes the energy raises the bar for the windows that follow, so
+  /// sporadic blocker energy marginally above the noise floor cannot
+  /// accumulate hits — only a sustained preamble-grade train (whose
+  /// windows are comparable to its own peak) passes the hysteresis.
+  /// Disabled by default (ratio 0): the historical fixed threshold,
+  /// bit-exact. The receiver enables it only when interference is
+  /// configured.
+  void enable_adaptive_pnr(double ratio);
+
   /// Returns true once a preamble has been declared.
   bool add(int code);
   bool detected() const { return detected_; }
   double threshold() const { return threshold_; }
+  /// The working threshold (== threshold() unless adaptive PNR raised it).
+  double current_threshold() const;
 
  private:
   double threshold_;
   int hits_needed_;
+  double pnr_ratio_ = 0.0;  ///< 0 = fixed-threshold mode
+  double peak_code_ = 0.0;
   unsigned history_ = 0;  ///< bit i = window i windows ago was a hit
   bool detected_ = false;
 };

@@ -69,14 +69,20 @@ TwrIteration TwoWayRanging::run_iteration(std::uint64_t channel_seed,
   kernel.add_analog(chan_ab);
   kernel.add_analog(chan_ba);
 
-  base::Rng chan_rng(channel_seed);
   base::Rng rng(noise_seed);
   const double pl_db = path_loss_db(sys.distance, sys.path_loss_db_1m,
                                     sys.path_loss_exponent);
   const double amp_scale = units::db_to_lin(-pl_db);
   if (sys.multipath) {
-    chan_ab.set_realization(generate_cm1(chan_rng), amp_scale);
-    chan_ba.set_realization(generate_cm1(chan_rng), amp_scale);
+    // Both directions' realizations come from one sequential stream seeded
+    // by channel_seed — draw_realizations reproduces the historical
+    // `Rng chan_rng(seed); generate_cm1(chan_rng) x 2` bit for bit, and
+    // routes through the UWBAMS_CACHE memo when core::memo is linked.
+    const auto reals = draw_realizations(
+        sys.channel_class, channel_class_params(sys.channel_class),
+        channel_seed, 2);
+    chan_ab.set_realization(reals[0], amp_scale);
+    chan_ba.set_realization(reals[1], amp_scale);
   } else {
     chan_ab.set_awgn_only(amp_scale);
     chan_ba.set_awgn_only(amp_scale);

@@ -140,6 +140,11 @@ void Receiver::handle_acquire(const WindowSample& s) {
           break;
         }
         sense_ = std::make_unique<PreambleSense>(*noise_, cfg_.sense_factor, 2);
+        // Interference environments get the adaptive PNR threshold (the
+        // OTA-C peak-search idiom): blocker bursts raise the working
+        // threshold so only a sustained preamble-grade train accumulates
+        // hits. Inactive (empty interference set) = historical behavior.
+        if (cfg_.interference.any()) sense_->enable_adaptive_pnr(4.0);
         state_ = RxState::kSense;
       }
       break;
@@ -321,8 +326,22 @@ void Receiver::finish_fine_scan() {
   // ranging bias is larger.
   const double agc_target_v =
       adc_.code_to_voltage(static_cast<int>(0.75 * adc_.max_code()));
-  const double threshold = cfg_.leading_edge_fraction * agc_target_v *
-                           (cfg_.fine_window / cfg_.integration_window);
+  double threshold = cfg_.leading_edge_fraction * agc_target_v *
+                     (cfg_.fine_window / cfg_.integration_window);
+
+  // Interference floor (gated — inactive sets keep the historical search
+  // bit-identical): a CW blocker or piconet burst lifts the whole fine
+  // profile, so the leading edge must clear a peak-to-noise-ratio floor
+  // over the pre-edge energy (mean of the earliest profile quarter), not
+  // just the absolute AGC-referenced level.
+  double pnr_floor = 0.0;
+  if (cfg_.interference.any() && !fine_energy_.empty()) {
+    const std::size_t nq = std::max<std::size_t>(1, fine_energy_.size() / 4);
+    double floor_sum = 0.0;
+    for (std::size_t i = 0; i < nq; ++i) floor_sum += fine_energy_[i];
+    pnr_floor = 2.0 * (floor_sum / static_cast<double>(nq));
+    threshold = std::max(threshold, pnr_floor);
+  }
 
   std::size_t cross = fine_energy_.size();
   double used_threshold = threshold;
@@ -333,10 +352,11 @@ void Receiver::finish_fine_scan() {
     }
   }
   if (cross == fine_energy_.size()) {
-    // Fallback: relative half-peak crossing (deep fades).
+    // Fallback: relative half-peak crossing (deep fades). The PNR floor
+    // still applies, clamped to the peak so a crossing always exists.
     const double peak =
         *std::max_element(fine_energy_.begin(), fine_energy_.end());
-    used_threshold = 0.5 * peak;
+    used_threshold = std::max(0.5 * peak, std::min(pnr_floor, peak));
     for (std::size_t i = 0; i < fine_energy_.size(); ++i) {
       if (fine_energy_[i] >= used_threshold) {
         cross = i;

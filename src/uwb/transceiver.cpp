@@ -28,7 +28,12 @@ Transceiver::Transceiver(ams::Kernel& kernel, const SystemConfig& cfg)
 
 void Transceiver::build_rx(ams::Kernel& kernel, const double* rf_input,
                            const IntegratorFactory& make_integrator) {
-  rx_ = std::make_unique<Receiver>(kernel, cfg_, rf_input, make_integrator);
+  // Interference enters at the antenna node, between the channel block and
+  // the LNA. An empty interference set registers nothing and out() aliases
+  // rf_input, keeping the historical wiring byte-identical.
+  interf_ = std::make_unique<InterferenceSet>(kernel, cfg_, rf_input);
+  rx_ = std::make_unique<Receiver>(kernel, cfg_, interf_->out(),
+                                   make_integrator);
 }
 
 void Transceiver::send(const Packet& packet, double t_start) {

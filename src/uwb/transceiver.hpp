@@ -17,6 +17,7 @@
 
 #include "ams/kernel.hpp"
 #include "uwb/config.hpp"
+#include "uwb/interference.hpp"
 #include "uwb/receiver.hpp"
 #include "uwb/transmitter.hpp"
 
@@ -58,6 +59,9 @@ class Transceiver {
  private:
   SystemConfig cfg_;
   std::unique_ptr<Transmitter> tx_;
+  /// Interference sources + summing junction between the channel output
+  /// and the receiver chain (empty config: pass-through, no blocks).
+  std::unique_ptr<InterferenceSet> interf_;
   std::unique_ptr<Receiver> rx_;
   double t_tx_pulse_ = -1.0;
 };

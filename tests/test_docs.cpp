@@ -88,8 +88,9 @@ TEST(Docs, CorePagesExist) {
 // under a group the page has no section structure for would be filed
 // nowhere a reader looks. Keep the group vocabulary closed.
 TEST(Docs, ScenarioGroupsAreKnown) {
-  const std::set<std::string> known = {"bench", "mc",       "netscale",
-                                       "ranging", "ablation", "example"};
+  const std::set<std::string> known = {"bench",    "mc",      "netscale",
+                                       "ranging",  "ablation", "example",
+                                       "coex"};
   for (const auto* s : ScenarioRegistry::instance().list()) {
     EXPECT_TRUE(known.count(s->info.group))
         << "scenario '" << s->info.name << "' uses unknown group '"
@@ -126,6 +127,33 @@ TEST(Docs, NetscalePageCoversNetscaleScenarios) {
         "anchor_dropout", "held-out"}) {
     EXPECT_NE(text.find(needle), std::string::npos)
         << "docs/netscale.md does not mention '" << needle << "'";
+  }
+}
+
+// The channel-environment walk-through (docs/channels.md) must exist and
+// cover the vocabulary a reader needs to drive the axis: the four class
+// names, the knobs, the seeding/identity contract, the coex scenarios and
+// the caching hand-offs. The catalog's coex section must point at it.
+TEST(Docs, ChannelsPageCoversTheEnvironmentAxis) {
+  const std::string text =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/channels.md");
+  ASSERT_FALSE(text.empty()) << "docs/channels.md is missing";
+  for (const char* needle :
+       {"cm1", "cm2", "cm3", "cm4", "channel_class", "Saleh-Valenzuela",
+        "apply_channel_class", "path-loss", "InterferenceConfig",
+        "cw_amplitude", "uwb_count", "kInterferencePurpose", "derive_seed",
+        "coex_ber", "multiuser_ber", "channel_class_sweep",
+        "uwbams-surrogate-v2", "uwbams-channel-draws-v1", "UWBAMS_CACHE",
+        "UWBAMS_CACHE_MAX_MB", "bit-identical", "held-out"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "docs/channels.md does not mention '" << needle << "'";
+  }
+  const std::string catalog =
+      read_file(std::string(UWBAMS_DOCS_DIR) + "/scenarios.md");
+  ASSERT_FALSE(catalog.empty());
+  for (const char* needle : {"channels.md", "BENCH_coex.json"}) {
+    EXPECT_NE(catalog.find(needle), std::string::npos)
+        << "docs/scenarios.md does not mention '" << needle << "'";
   }
 }
 

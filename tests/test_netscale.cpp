@@ -35,7 +35,8 @@ namespace {
 net::SurrogateTable synthetic_table(double bias, double spread,
                                     double p_fail = 0.0,
                                     double p_outlier = 0.0) {
-  net::SurrogateTable t({3.0, 6.0, 9.0, 12.0}, {8e-19}, {0.0, 40.0}, 4.8,
+  net::SurrogateTable t({3.0, 6.0, 9.0, 12.0}, {8e-19}, {0.0, 40.0},
+                        /*channel_class=*/{0.0, 1.0}, 4.8,
                         /*calib_seed=*/7, /*samples_per_cell=*/8);
   for (std::size_t i = 0; i < t.cell_count(); ++i) {
     auto& c = t.cell_at(i);
@@ -126,7 +127,7 @@ TEST(Surrogate, FromJsonRejectsMangledTables) {
   const net::SurrogateTable t = synthetic_table(0.5, 0.2);
   // Schema renames, shuffled cells and out-of-range stats are all fatal.
   std::string bad_schema = t.to_json();
-  const auto pos = bad_schema.find("uwbams-surrogate-v1");
+  const auto pos = bad_schema.find("uwbams-surrogate-v2");
   ASSERT_NE(pos, std::string::npos);
   bad_schema.replace(pos, 19, "uwbams-surrogate-v9");
   EXPECT_THROW(net::SurrogateTable::from_json(bad_schema),
@@ -149,14 +150,17 @@ TEST(Surrogate, LookupSelectsNearestCellAndClamps) {
   // Tag each cell with a recognizable bias = range + dppm/100.
   for (std::size_t i = 0; i < t.cell_count(); ++i) {
     auto& c = t.cell_at(i);
-    c.bias_m = c.range_m + c.dppm / 100.0;
+    c.bias_m = c.range_m + c.dppm / 100.0 + c.channel_class * 1000.0;
   }
-  EXPECT_EQ(t.lookup(6.4, 8e-19, 0.0).bias_m, 6.0);
-  EXPECT_EQ(t.lookup(7.6, 8e-19, 0.0).bias_m, 9.0);
-  EXPECT_EQ(t.lookup(0.1, 8e-19, 0.0).bias_m, 3.0);    // clamped low
-  EXPECT_EQ(t.lookup(100.0, 8e-19, 0.0).bias_m, 12.0); // clamped high
-  EXPECT_EQ(t.lookup(6.0, 8e-19, 35.0).bias_m, 6.4);   // dppm axis
-  EXPECT_EQ(t.lookup(6.0, 8e-19, -35.0).bias_m, 6.4);  // |dppm| symmetric
+  EXPECT_EQ(t.lookup(6.4, 8e-19, 0.0, 0.0).bias_m, 6.0);
+  EXPECT_EQ(t.lookup(7.6, 8e-19, 0.0, 0.0).bias_m, 9.0);
+  EXPECT_EQ(t.lookup(0.1, 8e-19, 0.0, 0.0).bias_m, 3.0);    // clamped low
+  EXPECT_EQ(t.lookup(100.0, 8e-19, 0.0, 0.0).bias_m, 12.0); // clamped high
+  EXPECT_EQ(t.lookup(6.0, 8e-19, 35.0, 0.0).bias_m, 6.4);   // dppm axis
+  EXPECT_EQ(t.lookup(6.0, 8e-19, -35.0, 0.0).bias_m, 6.4);  // |dppm| symmetric
+  // Channel-class axis: nearest code, clamped like every other axis.
+  EXPECT_EQ(t.lookup(6.0, 8e-19, 0.0, 1.0).bias_m, 1006.0);
+  EXPECT_EQ(t.lookup(6.0, 8e-19, 0.0, 3.0).bias_m, 1006.0);  // clamped
 }
 
 TEST(Surrogate, DrawMatchesCellStatistics) {
@@ -166,7 +170,7 @@ TEST(Surrogate, DrawMatchesCellStatistics) {
   double sum = 0.0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    const auto d = t.draw(6.0, 8e-19, 0.0, rng);
+    const auto d = t.draw(6.0, 8e-19, 0.0, 0.0, rng);
     if (!d.ok) continue;
     ++ok;
     sum += d.error_m;
@@ -178,16 +182,22 @@ TEST(Surrogate, DrawMatchesCellStatistics) {
 
   const net::SurrogateTable dead = synthetic_table(0.0, 0.1, 1.0);
   base::Rng rng2(43);
-  for (int i = 0; i < 50; ++i) EXPECT_FALSE(dead.draw(6.0, 8e-19, 0.0, rng2).ok);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(dead.draw(6.0, 8e-19, 0.0, 0.0, rng2).ok);
 }
 
 TEST(Surrogate, ConstructorRejectsBadAxes) {
-  EXPECT_THROW(net::SurrogateTable({}, {1e-19}, {0.0}, 4.8, 1, 4),
+  EXPECT_THROW(net::SurrogateTable({}, {1e-19}, {0.0}, {0.0}, 4.8, 1, 4),
                std::invalid_argument);
-  EXPECT_THROW(net::SurrogateTable({5.0, 5.0}, {1e-19}, {0.0}, 4.8, 1, 4),
+  EXPECT_THROW(
+      net::SurrogateTable({5.0, 5.0}, {1e-19}, {0.0}, {0.0}, 4.8, 1, 4),
+      std::invalid_argument);
+  EXPECT_THROW(net::SurrogateTable({5.0}, {1e-19}, {0.0}, {0.0}, -1.0, 1, 4),
                std::invalid_argument);
-  EXPECT_THROW(net::SurrogateTable({5.0}, {1e-19}, {0.0}, -1.0, 1, 4),
+  EXPECT_THROW(net::SurrogateTable({5.0}, {1e-19}, {0.0}, {}, 4.8, 1, 4),
                std::invalid_argument);
+  EXPECT_THROW(
+      net::SurrogateTable({5.0}, {1e-19}, {0.0}, {1.0, 0.0}, 4.8, 1, 4),
+      std::invalid_argument);
 }
 
 // ------------------------------------------------ calibration determinism

@@ -13,7 +13,9 @@
 //     bit-identical results on a repeat and key on every knob.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -110,6 +112,96 @@ TEST(ResultCache, DiskLevelSurvivesTheInstance) {
   // Promoted to memory: a second get is a memory hit.
   ASSERT_TRUE(fresh.get(0xabcdef, &out));
   EXPECT_EQ(fresh.stats().mem_hits, 1u);
+  fs::remove_all(dir);
+}
+
+namespace {
+
+// Ages an on-disk entry so the size-capped eviction sees a deterministic
+// recency order regardless of filesystem mtime resolution.
+void age_entry(const std::string& path, int hours_ago) {
+  fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                std::chrono::hours(hours_ago));
+}
+
+std::uintmax_t dir_bytes(const std::string& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& e : fs::directory_iterator(dir)) total += e.file_size();
+  return total;
+}
+
+}  // namespace
+
+TEST(ResultCache, DiskCapEvictsLeastRecentlyUsed) {
+  const std::string dir = temp_dir("cache_cap");
+  const std::string payload(100, 'x');
+  {
+    serve::ResultCache cache(dir, 1);
+    cache.set_disk_max_bytes(250);  // fits two 100-byte entries
+    cache.put(1, payload);
+    age_entry(cache.entry_path(1), 4);
+    cache.put(2, payload);
+    age_entry(cache.entry_path(2), 3);
+    cache.put(3, payload);  // 300 bytes > 250: evicts 1 (oldest)
+    age_entry(cache.entry_path(3), 2);
+    cache.put(4, payload);  // evicts 2
+    EXPECT_EQ(cache.stats().disk_evictions, 2u);
+  }
+  EXPECT_LE(dir_bytes(dir), 250u);
+  serve::ResultCache fresh(dir, 4);
+  std::string out;
+  EXPECT_FALSE(fresh.get(1, &out));
+  EXPECT_FALSE(fresh.get(2, &out));
+  EXPECT_TRUE(fresh.get(3, &out));
+  EXPECT_TRUE(fresh.get(4, &out));
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, DiskReadRefreshesRecencySoHotEntriesSurvive) {
+  const std::string dir = temp_dir("cache_touch");
+  const std::string payload(100, 'x');
+  {
+    serve::ResultCache warmup(dir, 1);
+    warmup.put(1, payload);
+    warmup.put(2, payload);
+  }
+  age_entry(serve::ResultCache(dir).entry_path(1), 5);  // 1 is the oldest...
+  age_entry(serve::ResultCache(dir).entry_path(2), 4);
+  serve::ResultCache cache(dir, 1);
+  cache.set_disk_max_bytes(250);
+  std::string out;
+  ASSERT_TRUE(cache.get(1, &out));  // ...but the disk hit touches it hot
+  cache.put(3, payload);            // over cap: evicts 2, not 1
+  serve::ResultCache fresh(dir, 4);
+  EXPECT_TRUE(fresh.get(1, &out));
+  EXPECT_FALSE(fresh.get(2, &out));
+  EXPECT_TRUE(fresh.get(3, &out));
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, OversizedPayloadSparesTheEntryJustWritten) {
+  const std::string dir = temp_dir("cache_spare");
+  serve::ResultCache cache(dir, 4);
+  cache.set_disk_max_bytes(50);
+  const std::string payload(100, 'x');  // alone it already exceeds the cap
+  cache.put(1, payload);
+  EXPECT_EQ(cache.stats().disk_evictions, 0u);  // never deletes itself
+  age_entry(cache.entry_path(1), 1);
+  cache.put(2, payload);  // evicts 1, spares 2 even though 2 > cap
+  EXPECT_EQ(cache.stats().disk_evictions, 1u);
+  EXPECT_FALSE(fs::exists(cache.entry_path(1)));
+  EXPECT_TRUE(fs::exists(cache.entry_path(2)));
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, DiskCapInitializesFromTheEnvironment) {
+  const std::string dir = temp_dir("cache_env");
+  ::setenv("UWBAMS_CACHE_MAX_MB", "0.5", 1);
+  serve::ResultCache capped(dir, 4);
+  ::unsetenv("UWBAMS_CACHE_MAX_MB");
+  EXPECT_EQ(capped.disk_max_bytes(), 512u * 1024u);
+  serve::ResultCache uncapped(dir, 4);
+  EXPECT_EQ(uncapped.disk_max_bytes(), 0u);  // default: unbounded
   fs::remove_all(dir);
 }
 

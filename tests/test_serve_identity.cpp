@@ -58,6 +58,10 @@ void mutate(spice::Integrator& f) {
 void mutate(spice::Corner& f) {
   f = f == spice::Corner::kTT ? spice::Corner::kFF : spice::Corner::kTT;
 }
+void mutate(uwb::ChannelClass& f) {
+  f = f == uwb::ChannelClass::kCm1 ? uwb::ChannelClass::kCm2
+                                   : uwb::ChannelClass::kCm1;
+}
 
 // Mutates only the target-th visited field, recording its name.
 struct FieldMutator {
@@ -146,7 +150,8 @@ TEST(CanonicalIdentity, WhitespaceAndKeyOrderDoNotChangeTheKey) {
 
 TEST(CanonicalCompleteness, FieldCountAndSizeofPins) {
   EXPECT_EQ(field_count<uwb::ClockConfig>(), 5);
-  EXPECT_EQ(field_count<uwb::SystemConfig>(), 42);
+  EXPECT_EQ(field_count<uwb::SystemConfig>(), 43);
+  EXPECT_EQ(field_count<uwb::InterferenceConfig>(), 6);
   EXPECT_EQ(field_count<spice::ModelVariation>(), 8);
   EXPECT_EQ(field_count<spice::ItdSizing>(), 37);
   EXPECT_EQ(field_count<spice::AdaptiveOptions>(), 8);
@@ -156,14 +161,15 @@ TEST(CanonicalCompleteness, FieldCountAndSizeofPins) {
   EXPECT_EQ(field_count<uwb::TwrConfig>(), 5);
 
   EXPECT_EQ(sizeof(uwb::ClockConfig), 40u);
-  EXPECT_EQ(sizeof(uwb::SystemConfig), 360u);
+  EXPECT_EQ(sizeof(uwb::SystemConfig), 416u);
+  EXPECT_EQ(sizeof(uwb::InterferenceConfig), 48u);
   EXPECT_EQ(sizeof(spice::ModelVariation), 64u);
   EXPECT_EQ(sizeof(spice::ItdSizing), 360u);
   EXPECT_EQ(sizeof(spice::AdaptiveOptions), 64u);
   EXPECT_EQ(sizeof(spice::OpOptions), 64u);
   EXPECT_EQ(sizeof(spice::TransientOptions), 200u);
   EXPECT_EQ(sizeof(core::CharacterizeOptions), 256u);
-  EXPECT_EQ(sizeof(uwb::TwrConfig), 480u);
+  EXPECT_EQ(sizeof(uwb::TwrConfig), 536u);
 }
 
 // --------------------------------------------------------- mutation suite
@@ -174,6 +180,9 @@ TEST(CanonicalMutation, EveryFieldFlipsTheKey) {
   expect_every_field_keyed<uwb::SystemConfig>(
       "SystemConfig",
       [](const uwb::SystemConfig& c) { return canon::to_json(c); });
+  expect_every_field_keyed<uwb::InterferenceConfig>(
+      "InterferenceConfig",
+      [](const uwb::InterferenceConfig& c) { return canon::to_json(c); });
   expect_every_field_keyed<spice::ModelVariation>(
       "ModelVariation",
       [](const spice::ModelVariation& c) { return canon::to_json(c); });
@@ -199,6 +208,12 @@ TEST(CanonicalMutation, EveryFieldRoundTrips) {
       "SystemConfig",
       [](const uwb::SystemConfig& c) { return canon::to_json(c); },
       [](const base::JsonValue& d, uwb::SystemConfig* out) {
+        canon::from_json(d, out);
+      });
+  expect_every_field_round_trips<uwb::InterferenceConfig>(
+      "InterferenceConfig",
+      [](const uwb::InterferenceConfig& c) { return canon::to_json(c); },
+      [](const base::JsonValue& d, uwb::InterferenceConfig* out) {
         canon::from_json(d, out);
       });
   expect_every_field_round_trips<spice::TransientOptions>(
@@ -227,6 +242,10 @@ TEST(CanonicalMutation, NestedStructsFlipTheParentKey) {
   const std::uint64_t base_key = canon::key_of(canon::to_json(sys));
   sys.clock.ppm += 1.5;
   EXPECT_NE(canon::key_of(canon::to_json(sys)), base_key);
+
+  uwb::SystemConfig jammed;
+  jammed.interference.cw_amplitude = 1e-3;
+  EXPECT_NE(canon::key_of(canon::to_json(jammed)), base_key);
 
   uwb::TwrConfig twr;
   const std::uint64_t twr_key = canon::key_of(canon::to_json(twr));
@@ -405,13 +424,13 @@ TEST(ReferenceVectors, PinnedContentKeys) {
   EXPECT_EQ(base::hex_u64(canon::key_of(canon::to_json(uwb::ClockConfig{}))),
             "0x22d580087fdd066f");
   EXPECT_EQ(base::hex_u64(canon::key_of(canon::to_json(uwb::SystemConfig{}))),
-            "0x76db2643b38dee0b");
+            "0x34e5dc2a9cbe93c1");
   EXPECT_EQ(
       base::hex_u64(canon::key_of(canon::to_json(spice::TransientOptions{}))),
       "0x248288238207882a");
   EXPECT_EQ(base::hex_u64(
                 runner::spec_content_key(runner::ScenarioSpec("pinned"))),
-            "0xa575b6d3f42ea571");
+            "0x8200392562a065e3");
   serve::Request req;
   req.scenario = "pinned";
   EXPECT_EQ(base::hex_u64(req.content_key()), "0xe63c206e5b8eddb1");
